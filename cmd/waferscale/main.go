@@ -1,0 +1,523 @@
+// Command waferscale is the design-flow CLI: it regenerates the
+// paper's analyses (Table I, the Fig. 2 droop map, the Fig. 4 clock
+// plan, the Section V yield numbers, the Fig. 6 network Monte Carlo,
+// the Section VII test timing, the Section VIII substrate routing) and
+// runs the design-space sweeps.
+//
+// Usage:
+//
+//	waferscale spec                      print Table I
+//	waferscale report [-faults N]        run every analysis
+//	waferscale droop [-profile]          Fig. 2 voltage map / center-row profile
+//	waferscale clock [-faults N]         clock forwarding plan on a random fault map
+//	waferscale yield                     Section V bonding-yield comparison
+//	waferscale nocmc [-trials N]         Fig. 6 disconnected-pairs Monte Carlo
+//	waferscale jtag                      Section VII load-time headline
+//	waferscale route                     route + DRC a tile pair on the substrate
+//	waferscale dse                       design-space sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"waferscale/internal/arch"
+	"waferscale/internal/clock"
+	"waferscale/internal/core"
+	"waferscale/internal/fault"
+	"waferscale/internal/geom"
+	"waferscale/internal/jtag"
+	"waferscale/internal/noc"
+	"waferscale/internal/pdn"
+	"waferscale/internal/substrate"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "spec":
+		err = cmdSpec(args)
+	case "report":
+		err = cmdReport(args)
+	case "droop":
+		err = cmdDroop(args)
+	case "clock":
+		err = cmdClock(args)
+	case "yield":
+		err = cmdYield(args)
+	case "nocmc":
+		err = cmdNocMC(args)
+	case "jtag":
+		err = cmdJTAG(args)
+	case "route":
+		err = cmdRoute(args)
+	case "dse":
+		err = cmdDSE(args)
+	case "transient":
+		err = cmdTransient(args)
+	case "throughput":
+		err = cmdThroughput(args)
+	case "kgd":
+		err = cmdKGD(args)
+	case "place":
+		err = cmdPlace(args)
+	case "validate":
+		err = cmdValidate(args)
+	case "pareto":
+		err = cmdPareto(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "waferscale: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "waferscale %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: waferscale <command> [flags]
+
+commands:
+  spec     print Table I (salient features)
+  report   run every analysis against a fault map
+  droop    Fig. 2 power-delivery droop map
+  clock    Fig. 3/4 clock selection and forwarding
+  yield    Section V bonding yield and I/O figures
+  nocmc    Fig. 6 network-resiliency Monte Carlo
+  jtag     Section VII test/load-time analysis
+  route      Section VIII substrate routing + DRC
+  dse        design-space exploration sweeps
+  transient  LDO + decap load-step simulation
+  throughput NoC latency-throughput curve
+  kgd        pre-bond screening / assembly-policy comparison
+  place      optimize clock-generator placement on a fault map
+  validate   run BFS on a reduced simulated machine vs a host oracle
+  pareto     explore the (throughput, power, yield) design space
+
+most commands accept -config <file.json> to evaluate a custom design`)
+}
+
+func cmdSpec(args []string) error {
+	fs := flag.NewFlagSet("spec", flag.ExitOnError)
+	cfgPath := fs.String("config", "", "JSON config file overriding the prototype design")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := loadDesign(*cfgPath)
+	if err != nil {
+		return err
+	}
+	fmt.Print(d.FormatSpec())
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	faults := fs.Int("faults", 5, "random faulty tiles")
+	trials := fs.Int("trials", 8, "Monte Carlo trials")
+	seed := fs.Int64("seed", 2021, "random seed")
+	cfgPath := fs.String("config", "", "JSON config file overriding the prototype design")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := loadDesign(*cfgPath)
+	if err != nil {
+		return err
+	}
+	fm := fault.Random(d.Cfg.Grid(), *faults, rand.New(rand.NewSource(*seed)))
+	return d.WriteFullReport(os.Stdout, fm, *trials, *seed)
+}
+
+func cmdDroop(args []string) error {
+	fs := flag.NewFlagSet("droop", flag.ExitOnError)
+	profile := fs.Bool("profile", false, "print the center-row 1-D profile instead of the map")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d := core.NewDesign()
+	rep, err := d.AnalyzePower()
+	if err != nil {
+		return err
+	}
+	if *profile {
+		fmt.Println("Fig. 2 profile: west edge -> center -> east edge (volts)")
+		for x, v := range rep.Solution.Profile(d.Cfg.TilesY / 2) {
+			fmt.Printf("  x=%2d  %.3f\n", x, v)
+		}
+	} else {
+		fmt.Print(rep.Solution.DroopMapString())
+	}
+	fmt.Printf("min %.3f V at %v; plane loss %.1f W; edge draw %.0f W\n",
+		rep.MinVolt, rep.MinAt, rep.ResistiveLossW, rep.EdgePowerW)
+	return nil
+}
+
+func cmdClock(args []string) error {
+	fs := flag.NewFlagSet("clock", flag.ExitOnError)
+	faults := fs.Int("faults", 6, "random faulty tiles")
+	side := fs.Int("side", 8, "array side (8 reproduces Fig. 4 scale)")
+	seed := fs.Int64("seed", 4, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	grid := geom.NewGrid(*side, *side)
+	fm := fault.Random(grid, *faults, rand.New(rand.NewSource(*seed)))
+	cfg := clock.DefaultSetup(grid)
+	if fm.Faulty(cfg.Generators[0]) {
+		for _, c := range grid.EdgeCoords() {
+			if fm.Healthy(c) {
+				cfg.Generators = []geom.Coord{c}
+				break
+			}
+		}
+	}
+	plan, err := clock.RunSetup(fm, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("clock forwarding plan (%dx%d, %d faults; G generator, digits = hops mod 10, X faulty, ! starved):\n",
+		*side, *side, *faults)
+	fmt.Print(plan.Render(fm))
+	starved := plan.UnreachedTiles(fm)
+	fmt.Printf("clocked %d/%d healthy tiles; starved: %v; max hops %d\n",
+		fm.HealthyCount()-len(starved), fm.HealthyCount(), starved, plan.MaxHops())
+	return nil
+}
+
+func cmdYield(args []string) error {
+	fs := flag.NewFlagSet("yield", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d := core.NewDesign()
+	rep, err := d.AnalyzeYield()
+	if err != nil {
+		return err
+	}
+	c := rep.Comparison
+	fmt.Printf("per-pillar bond yield: %.4f%%\n", d.PillarYield*100)
+	fmt.Printf("%-22s %14s %14s\n", "", "1 pillar/pad", "2 pillars/pad")
+	fmt.Printf("%-22s %13.4f%% %13.5f%%\n", "pad yield", c.SinglePadYield*100, c.DualPadYield*100)
+	fmt.Printf("%-22s %13.2f%% %13.3f%%\n", "chiplet yield", c.SingleChipletYield*100, c.DualChipletYield*100)
+	fmt.Printf("%-22s %14.1f %14.3f\n", "expected bad chiplets", c.SingleExpectedBad, c.DualExpectedBad)
+	fmt.Printf("I/O energy %.3f pJ/bit; compute-chiplet I/O area %.2f mm2\n",
+		rep.EnergyPerBitPJ, rep.IOAreaMM2)
+	return nil
+}
+
+func cmdNocMC(args []string) error {
+	fs := flag.NewFlagSet("nocmc", flag.ExitOnError)
+	trials := fs.Int("trials", 16, "Monte Carlo trials per fault count")
+	seed := fs.Int64("seed", 2021, "random seed")
+	max := fs.Int("max", 20, "max fault count")
+	chiplet := fs.Bool("chiplet", false, "fault at chiplet granularity (memory faults only cut N-S links)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d := core.NewDesign()
+	var counts []int
+	for n := 1; n <= *max; n += maxInt(1, *max/10) {
+		counts = append(counts, n)
+	}
+	if *chiplet {
+		fmt.Printf("Fig. 6 at chiplet granularity (32x32, %d trials)\n", *trials)
+		fmt.Printf("%8s  %14s  %14s\n", "chiplets", "1 DoR network", "2 DoR networks")
+		for _, n := range counts {
+			var single, dual float64
+			for i := 0; i < *trials; i++ {
+				rng := rand.New(rand.NewSource(*seed + int64(1000*n+i)))
+				st := noc.NewChipletAnalyzer(noc.RandomChiplets(d.Cfg.Grid(), n, rng)).AllPairs()
+				single += st.PctSingle()
+				dual += st.PctDual()
+			}
+			fmt.Printf("%8d  %13.2f%%  %13.3f%%\n",
+				n, single/float64(*trials), dual/float64(*trials))
+		}
+		return nil
+	}
+	pts := noc.Fig6Sweep(d.Cfg.Grid(), counts, *trials, *seed)
+	fmt.Printf("Fig. 6: %% disconnected source-destination pairs (32x32, %d trials)\n", *trials)
+	fmt.Printf("%8s  %14s  %14s\n", "faults", "1 DoR network", "2 DoR networks")
+	for _, p := range pts {
+		fmt.Printf("%8d  %13.2f%%  %13.3f%%\n", p.Faults, p.PctSingle.Mean, p.PctDual.Mean)
+	}
+	return nil
+}
+
+func cmdJTAG(args []string) error {
+	fs := flag.NewFlagSet("jtag", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d := core.NewDesign()
+	rep, err := d.AnalyzeTest()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("full-wafer memory load, single %d-tile chain: %v\n",
+		d.Cfg.Tiles(), rep.SingleChainLoad.Round(time.Minute))
+	fmt.Printf("with %d row chains:                          %v (%.1fx)\n",
+		d.Cfg.JTAGChains, rep.MultiChainLoad.Round(time.Second), rep.ChainSpeedup)
+	fmt.Printf("intra-tile broadcast mode:                  %.0fx shift-latency reduction\n",
+		rep.BroadcastSpeedup)
+	return nil
+}
+
+func cmdRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	full := fs.Bool("full", false, "route the complete 32x32 wafer netlist (~732k nets)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *full {
+		cfg := substrate.DefaultWaferNetlist(geom.NewGrid(32, 32))
+		start := time.Now()
+		r, routed, err := substrate.RouteWafer(cfg, substrate.DefaultRules(), substrate.DefaultReticle())
+		if err != nil {
+			return err
+		}
+		u := r.Utilization()
+		fmt.Printf("full wafer: routed %d nets jog-free in %v\n", routed, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  total wire %.2f m, %d tracks, %d seam crossings\n",
+			u.TotalWireUM/1e6, u.TracksUsed, u.SeamCrossings)
+		return nil
+	}
+	rep, err := core.NewDesign().AnalyzeSubstrate()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reticle exposures: %dx%d (12x6 tiles each)\n", rep.ReticlesX, rep.ReticlesY)
+	fmt.Printf("tile-pair nets routed jog-free: %d (%d seam crossings)\n", rep.RoutedNets, rep.SeamCrossings)
+	fmt.Printf("DRC violations: %d\n", rep.DRCViolations)
+	fmt.Printf("single-layer fallback: alive=%v, shared capacity -%.0f%%\n",
+		rep.FallbackAlive, rep.FallbackCapacityLoss)
+	return nil
+}
+
+func cmdDSE(args []string) error {
+	fs := flag.NewFlagSet("dse", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d := core.NewDesign()
+	fmt.Println("array-size sweep (fixed per-tile design):")
+	pts, err := d.SweepArraySize([]int{8, 16, 24, 32, 40, 48})
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.FormatArraySweep(pts))
+
+	fmt.Println("\npillar-redundancy sweep:")
+	for _, p := range d.SweepPillarRedundancy(3) {
+		fmt.Printf("  %d pillars/pad: chiplet yield %.4f%%, expected bad %.2f, pad height %.0f um\n",
+			p.PillarsPerPad, p.ChipletYield*100, p.ExpectedBad, p.PadHeightUM)
+	}
+
+	fmt.Println("\nJTAG chain-count sweep:")
+	chains, err := d.SweepChains([]int{1, 2, 4, 8, 16, 32})
+	if err != nil {
+		return err
+	}
+	for _, p := range chains {
+		fmt.Printf("  %2d chains: %v\n", p.Chains, p.LoadTime.Round(time.Second))
+	}
+
+	fmt.Println("\ndecap-technology sweep (20 nF per-tile budget):")
+	for _, p := range d.SweepDecapTech() {
+		fmt.Printf("  %-30s %6.2f nF/mm2 -> %5.2f mm2 (%.1f%% of tile)\n",
+			p.Tech, p.DensityNFMM2, p.AreaMM2, p.TileAreaPct)
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// loadDesign builds the design point, applying an optional JSON config.
+func loadDesign(path string) (*core.Design, error) {
+	d := core.NewDesign()
+	if path == "" {
+		return d, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cfg, err := arch.ReadConfig(f)
+	if err != nil {
+		return nil, err
+	}
+	d.Cfg = cfg
+	return d, nil
+}
+
+func cmdTransient(args []string) error {
+	fs := flag.NewFlagSet("transient", flag.ExitOnError)
+	decap := fs.Float64("decap-nf", 20, "decoupling capacitance in nF")
+	step := fs.Float64("step-ma", 200, "load step in mA")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := pdn.DefaultTransient()
+	cfg.DecapF = *decap * 1e-9
+	cfg.StepLoadA = *step * 1e-3
+	res, err := pdn.SimulateTransient(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("load step %.0f mA against %.0f nF at Vin=%.2f V:\n", *step, *decap, cfg.VinV)
+	fmt.Printf("  excursion  %.3f .. %.3f V (window %.1f-%.1f V: ok=%v)\n",
+		res.MinV, res.MaxV, cfg.LDO.MinOutV, cfg.LDO.MaxOutV, res.InWindow)
+	fmt.Printf("  undershoot %.1f mV, settles at %.3f V\n", res.UndershootV*1000, res.SettledV)
+	min, err := pdn.MinDecapForWindow(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  minimum decap for this step: %.1f nF (paper budget: 20 nF)\n", min*1e9)
+	return nil
+}
+
+func cmdThroughput(args []string) error {
+	fs := flag.NewFlagSet("throughput", flag.ExitOnError)
+	side := fs.Int("side", 8, "array side")
+	faults := fs.Int("faults", 0, "random faulty tiles")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	grid := geom.NewGrid(*side, *side)
+	fm := fault.Random(grid, *faults, rand.New(rand.NewSource(*seed)))
+	rates := []float64{0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0}
+	pts, err := noc.MeasureThroughput(fm, noc.DefaultThroughputConfig(), rates)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("uniform random traffic on %dx%d (%d faults); bisection bound %.3f pkt/tile/cyc\n",
+		*side, *side, *faults, noc.TheoreticalSaturation(grid))
+	fmt.Printf("%10s %12s %12s %14s\n", "offered", "delivered", "avg latency", "backpressured")
+	for _, p := range pts {
+		fmt.Printf("%10.3f %12.4f %11.1fcy %13.1f%%\n",
+			p.OfferedRate, p.DeliveredRate, p.AvgLatency, p.Backpressured*100)
+	}
+	return nil
+}
+
+func cmdKGD(args []string) error {
+	fs := flag.NewFlagSet("kgd", flag.ExitOnError)
+	dieYield := fs.Float64("die-yield", 0.90, "manufacturing yield")
+	batch := fs.Int("batch", 128, "chiplets to screen")
+	seed := fs.Int64("seed", 7, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	chiplets := jtag.RandomBatch(*batch, 4, *dieYield, rand.New(rand.NewSource(*seed)))
+	res, _ := jtag.ScreenChiplets(chiplets)
+	fmt.Printf("probe-tested %d chiplets: %d known-good, %d rejected (%d/%d screening errors)\n",
+		res.Tested, res.KnownGood, res.Rejected, res.FalseAccepts, res.FalseRejects)
+	out := jtag.CompareKGD(2048, *dieYield, 0.99998)
+	fmt.Printf("2048-site wafer: %.1f expected bad sites without KGD screening, %.3f with\n",
+		out.FaultyWithoutKGD, out.FaultyWithKGD)
+	cmp, err := jtag.ComparePolicies(16, 2, 0.05, 40, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("during-assembly testing (16-tile chains, %d wafers): %.1f KGD dies wasted per failure at-end vs %.1f per-placement\n",
+		cmp.Wafers, cmp.WastedPerFailureEnd, cmp.WastedPerFailureInc)
+	return nil
+}
+
+func cmdPlace(args []string) error {
+	fs := flag.NewFlagSet("place", flag.ExitOnError)
+	side := fs.Int("side", 32, "array side")
+	k := fs.Int("k", 2, "generators to place")
+	faults := fs.Int("faults", 5, "random faulty tiles")
+	seed := fs.Int64("seed", 2021, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	grid := geom.NewGrid(*side, *side)
+	fm := fault.Random(grid, *faults, rand.New(rand.NewSource(*seed)))
+	for _, kk := range []int{1, *k} {
+		res, err := clock.PlaceGenerators(fm, kk)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("k=%d generators %v: max %d hops, mean %.1f, %d unreached\n",
+			kk, res.Generators, res.MaxHops, res.MeanHops, res.Unreached)
+	}
+	return nil
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	side := fs.Int("side", 4, "reduced array side (the paper's FPGA emulation was also reduced)")
+	workers := fs.Int("workers", 16, "worker cores")
+	faults := fs.Int("faults", 1, "random faulty tiles")
+	seed := fs.Int64("seed", 2021, "random seed")
+	cfgPath := fs.String("config", "", "JSON config file overriding the prototype design")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := loadDesign(*cfgPath)
+	if err != nil {
+		return err
+	}
+	grid := geom.NewGrid(*side, *side)
+	fm := fault.Random(grid, *faults, rand.New(rand.NewSource(*seed)))
+	res, err := d.ValidateSystem(*side, *workers, fm)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on a %dx%d machine (%d faults): verified=%v\n",
+		res.Workload, *side, *side, *faults, res.Verified)
+	fmt.Printf("cycles %d, instret %d, remote ops %d\n", res.Cycles, res.Instructions, res.RemoteOps)
+	fmt.Printf("CPI %.2f, %.1f%% of core time in remote stalls\n",
+		res.Profile.CPI(), res.Profile.RemoteStallFrac()*100)
+	if !res.Verified {
+		return fmt.Errorf("validation diverged from the host reference")
+	}
+	return nil
+}
+
+func cmdPareto(args []string) error {
+	fs := flag.NewFlagSet("pareto", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d := core.NewDesign()
+	all, frontier, err := d.ExplorePareto(core.DefaultParetoSpace())
+	if err != nil {
+		return err
+	}
+	onFrontier := map[core.DesignPoint]bool{}
+	for _, p := range frontier {
+		onFrontier[p] = true
+	}
+	fmt.Printf("%d feasible points, %d on the Pareto frontier (throughput vs power vs yield)\n",
+		len(all), len(frontier))
+	fmt.Printf("%6s %7s %8s %10s %10s %10s %9s %8s\n",
+		"side", "edge V", "pillars", "TOPS", "power W", "exp. bad", "center V", "pareto")
+	for _, p := range all {
+		fmt.Printf("%6d %7.1f %8d %10.2f %10.0f %10.2f %9.2f %8v\n",
+			p.ArraySide, p.EdgeVolts, p.PillarsPerPad, p.ThroughputTOPS,
+			p.EdgePowerW, p.ExpectedBad, p.CenterVolt, onFrontier[p])
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+// Package waferscale is an open-source reproduction, in pure Go, of
+// the design flow behind "Designing a 2048-Chiplet, 14336-Core
+// Waferscale Processor" (Pal et al., DAC 2021): architecture derivation
+// (Table I), edge power delivery and LDO regulation (Section III /
+// Fig. 2), fault-tolerant clock forwarding (Section IV / Figs. 3-4),
+// fine-pitch I/O and bonding yield (Section V / Figs. 5, 8), the dual
+// dimension-ordered waferscale network with its resiliency Monte Carlo
+// (Section VI / Figs. 6-7), the JTAG test infrastructure (Section VII /
+// Figs. 9-10), the Si-IF substrate with its jog-free router (Section
+// VIII), and a cycle-counted functional simulator that runs the
+// paper's BFS/SSSP validation workloads as real programs.
+//
+// The implementation lives under internal/; see README.md for the
+// package map and EXPERIMENTS.md for paper-versus-measured numbers.
+// The benchmarks in bench_test.go regenerate every table and figure.
+package waferscale

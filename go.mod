@@ -1,0 +1,3 @@
+module waferscale
+
+go 1.22

@@ -1,0 +1,45 @@
+package chipio
+
+// System-level I/O power budget: one reason waferscale integration wins
+// (paper Section I — off-package links "have inferior bandwidth and
+// energy efficiency compared to their on-chip counterparts"). With
+// 0.063 pJ/bit Si-IF links, even the full 9.83 TB/s network bandwidth
+// costs only a few watts of I/O power — a rounding error against the
+// 725 W system budget, where conventional off-package SerDes at
+// several pJ/bit would burn two orders of magnitude more.
+
+// IOPowerBudget summarizes the interconnect energy picture.
+type IOPowerBudget struct {
+	BandwidthBps     float64 // payload bandwidth carried
+	EnergyPerBitJ    float64
+	PowerW           float64
+	SystemBudgetW    float64
+	FractionOfBudget float64
+}
+
+// ComputeIOPower evaluates the I/O power at a carried bandwidth.
+func ComputeIOPower(cell IOCell, linkUM, bandwidthBps, systemBudgetW float64) IOPowerBudget {
+	e := cell.EnergyPerBitJ(linkUM)
+	p := bandwidthBps * 8 * e
+	b := IOPowerBudget{
+		BandwidthBps:  bandwidthBps,
+		EnergyPerBitJ: e,
+		PowerW:        p,
+		SystemBudgetW: systemBudgetW,
+	}
+	if systemBudgetW > 0 {
+		b.FractionOfBudget = p / systemBudgetW
+	}
+	return b
+}
+
+// ConventionalSerDesEnergyJ is a representative off-package link cost
+// (~5 pJ/bit for short-reach SerDes of the era) used for the
+// comparison the paper's introduction makes.
+const ConventionalSerDesEnergyJ = 5e-12
+
+// OffPackageComparison returns the power the same bandwidth would cost
+// over conventional packaged links.
+func OffPackageComparison(bandwidthBps float64) float64 {
+	return bandwidthBps * 8 * ConventionalSerDesEnergyJ
+}

@@ -1,0 +1,43 @@
+package chipio
+
+import (
+	"math"
+	"testing"
+)
+
+// TestIOPowerAtFullNetworkBandwidth: carrying the Table I 9.83 TB/s at
+// 0.063 pJ/bit costs ~5 W — under 1% of the 725 W budget.
+func TestIOPowerAtFullNetworkBandwidth(t *testing.T) {
+	b := ComputeIOPower(DefaultIOCell(), 500, 9.83e12, 725)
+	if b.PowerW < 3 || b.PowerW > 8 {
+		t.Errorf("I/O power = %.2f W, want ~5 W", b.PowerW)
+	}
+	if b.FractionOfBudget > 0.01 {
+		t.Errorf("I/O power fraction = %.4f, want <1%%", b.FractionOfBudget)
+	}
+	if math.Abs(b.EnergyPerBitJ-0.063e-12) > 0.002e-12 {
+		t.Errorf("energy per bit = %v", b.EnergyPerBitJ)
+	}
+}
+
+// TestOffPackageComparison: the same bandwidth over conventional links
+// would cost ~80x more — the paper's Section I motivation quantified.
+func TestOffPackageComparison(t *testing.T) {
+	siIF := ComputeIOPower(DefaultIOCell(), 500, 9.83e12, 725).PowerW
+	serdes := OffPackageComparison(9.83e12)
+	ratio := serdes / siIF
+	if ratio < 50 || ratio > 120 {
+		t.Errorf("off-package penalty = %.0fx, want ~80x", ratio)
+	}
+	// And it would no longer be a rounding error: several hundred watts.
+	if serdes < 300 {
+		t.Errorf("conventional links cost %.0f W, expected hundreds", serdes)
+	}
+}
+
+func TestIOPowerZeroBudget(t *testing.T) {
+	b := ComputeIOPower(DefaultIOCell(), 500, 1e12, 0)
+	if b.FractionOfBudget != 0 {
+		t.Error("zero budget should yield zero fraction")
+	}
+}

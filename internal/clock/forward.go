@@ -1,0 +1,275 @@
+package clock
+
+import (
+	"container/heap"
+	"fmt"
+
+	"waferscale/internal/fault"
+	"waferscale/internal/geom"
+)
+
+// SetupConfig parametrizes the clock setup phase.
+type SetupConfig struct {
+	// Generators are the edge tiles configured (over JTAG) to multiply
+	// the master clock and start forwarding. All must be healthy edge
+	// tiles.
+	Generators []geom.Coord
+	// ToggleCount is the number of toggles an incoming forwarded clock
+	// must accumulate before the selector locks onto it (paper default:
+	// 16).
+	ToggleCount int
+	// HopLatency is the per-tile forwarding latency in cycles of the
+	// fast clock (buffering + I/O + selector). Any positive value gives
+	// the same selection topology; it only scales arrival times.
+	HopLatency int
+}
+
+// DefaultSetup returns the paper's setup: one generator at the west
+// edge middle, toggle count 16, unit hop latency.
+func DefaultSetup(grid geom.Grid) SetupConfig {
+	return SetupConfig{
+		Generators:  []geom.Coord{geom.C(0, grid.H/2)},
+		ToggleCount: 16,
+		HopLatency:  1,
+	}
+}
+
+// Validate checks the setup against a fault map.
+func (s SetupConfig) Validate(fm *fault.Map) error {
+	if len(s.Generators) == 0 {
+		return fmt.Errorf("clock: no generator tiles configured")
+	}
+	g := fm.Grid()
+	for _, c := range s.Generators {
+		if !g.In(c) {
+			return fmt.Errorf("clock: generator %v outside %v array", c, g)
+		}
+		if !g.OnEdge(c) {
+			return fmt.Errorf("clock: generator %v is not an edge tile; stable PLL reference requires edge decap", c)
+		}
+		if fm.Faulty(c) {
+			return fmt.Errorf("clock: generator %v is faulty", c)
+		}
+	}
+	if s.ToggleCount < 1 {
+		return fmt.Errorf("clock: toggle count %d must be >= 1", s.ToggleCount)
+	}
+	if s.HopLatency < 1 {
+		return fmt.Errorf("clock: hop latency %d must be >= 1", s.HopLatency)
+	}
+	return nil
+}
+
+// arrival is a pending clock wavefront for the event-driven setup
+// simulation.
+type arrival struct {
+	time     int        // cycle the forwarded clock starts toggling at the tile
+	tile     geom.Coord // receiving tile
+	from     geom.Dir   // input port it arrives on
+	hops     int        // forwarding hops from the generator
+	inverted bool       // polarity of the incoming copy
+	seq      int        // tie-break: FIFO order for equal times
+}
+
+type arrivalQueue []arrival
+
+func (q arrivalQueue) Len() int { return len(q) }
+func (q arrivalQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q arrivalQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *arrivalQueue) Push(x any)   { *q = append(*q, x.(arrival)) }
+func (q *arrivalQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// RunSetup simulates the clock setup phase event-by-event and returns
+// the resulting forwarding plan.
+//
+// The simulation mirrors the hardware: a tile in auto-selection mode
+// watches all four forwarded inputs; each input that is toggling
+// accumulates toggles once per cycle; the first input to reach
+// ToggleCount is selected, the setup phase for the tile terminates, and
+// after HopLatency cycles the (re-inverted) clock appears at all four
+// neighbors. Because selection is first-past-the-post on arrival time,
+// the resulting topology is a shortest-path forest rooted at the
+// generators — which the tests cross-check against plain BFS.
+func RunSetup(fm *fault.Map, cfg SetupConfig) (*Plan, error) {
+	if err := cfg.Validate(fm); err != nil {
+		return nil, err
+	}
+	g := fm.Grid()
+	p := &Plan{
+		Grid:       g,
+		Generators: append([]geom.Coord(nil), cfg.Generators...),
+		Source:     make([]Source, g.Size()),
+		Hops:       make([]int, g.Size()),
+		Inverted:   make([]bool, g.Size()),
+	}
+	for i := range p.Source {
+		p.Source[i] = SourceJTAG // boot default (paper: selector defaults to JTAG)
+		p.Hops[i] = -1
+	}
+
+	var q arrivalQueue
+	seq := 0
+	push := func(a arrival) {
+		a.seq = seq
+		seq++
+		heap.Push(&q, a)
+	}
+	selected := make([]bool, g.Size())
+
+	// Every healthy non-generator tile (edge tiles included — they are
+	// merely *capable* of generating) runs auto-selection, so a tile
+	// forwards its selected clock to all four neighbors.
+	forward := func(c geom.Coord, at, hops int, inverted bool) {
+		for _, d := range geom.Dirs() {
+			n := c.Step(d)
+			if fm.Healthy(n) {
+				push(arrival{
+					time:     at + cfg.HopLatency,
+					tile:     n,
+					from:     d.Opposite(),
+					hops:     hops + 1,
+					inverted: !inverted, // each hop forwards the inverted copy
+				})
+			}
+		}
+	}
+
+	for _, c := range cfg.Generators {
+		i := g.Index(c)
+		p.Source[i] = SourceMaster // generator multiplies the master clock
+		p.Hops[i] = 0
+		selected[i] = true
+		forward(c, 0, 0, false)
+	}
+
+	for q.Len() > 0 {
+		a := heap.Pop(&q).(arrival)
+		i := g.Index(a.tile)
+		if selected[i] {
+			continue // selector already locked; later toggles ignored
+		}
+		// The input needs ToggleCount toggles after it starts; all four
+		// inputs count concurrently, so the earliest-arriving input wins.
+		selected[i] = true
+		p.Source[i] = FromDir(a.from)
+		p.Hops[i] = a.hops
+		p.Inverted[i] = a.inverted
+		lockTime := a.time + cfg.ToggleCount
+		forward(a.tile, lockTime, a.hops, a.inverted)
+	}
+	return p, nil
+}
+
+// Reachable computes, by plain breadth-first search, the set of healthy
+// tiles a forwarded clock can reach from the generators. This is the
+// graph-theoretic view of RunSetup; the two must agree on which tiles
+// receive a clock (property-tested).
+func Reachable(fm *fault.Map, generators []geom.Coord) []bool {
+	g := fm.Grid()
+	reach := make([]bool, g.Size())
+	var queue []geom.Coord
+	for _, c := range generators {
+		if fm.Healthy(c) {
+			reach[g.Index(c)] = true
+			queue = append(queue, c)
+		}
+	}
+	var nbuf []geom.Coord
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		nbuf = g.Neighbors(c, nbuf[:0])
+		for _, n := range nbuf {
+			i := g.Index(n)
+			if !reach[i] && fm.Healthy(n) {
+				reach[i] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	return reach
+}
+
+// ResiliencyReport summarizes clock-delivery health for a fault map.
+type ResiliencyReport struct {
+	HealthyTiles   int
+	ClockedTiles   int
+	UnreachedTiles []geom.Coord // healthy but clock-starved
+	MaxHops        int
+}
+
+// AnalyzeResiliency runs setup and summarizes delivery. Tiles that are
+// healthy but surrounded by faults (or disconnected regions) appear in
+// UnreachedTiles — the paper's Fig. 4 "tile 2" case.
+func AnalyzeResiliency(fm *fault.Map, cfg SetupConfig) (ResiliencyReport, error) {
+	p, err := RunSetup(fm, cfg)
+	if err != nil {
+		return ResiliencyReport{}, err
+	}
+	rep := ResiliencyReport{
+		HealthyTiles:   fm.HealthyCount(),
+		UnreachedTiles: p.UnreachedTiles(fm),
+		MaxHops:        p.MaxHops(),
+	}
+	rep.ClockedTiles = rep.HealthyTiles - len(rep.UnreachedTiles)
+	return rep, nil
+}
+
+// NoSinglePointOfFailure verifies the paper's claim that clock
+// generation has no single point of failure: for every way a single
+// additional tile can die (including the currently chosen generator),
+// some healthy edge tile can still be configured as generator and the
+// forwarded clock still reaches every healthy tile that remains
+// 4-connected to the edge. It returns the number of healthy edge tiles
+// available as generator candidates, and an error describing the first
+// violation found (there should be none on any fault map that leaves a
+// healthy edge tile).
+func NoSinglePointOfFailure(fm *fault.Map) (int, error) {
+	g := fm.Grid()
+	var candidates []geom.Coord
+	for _, c := range g.EdgeCoords() {
+		if fm.Healthy(c) {
+			candidates = append(candidates, c)
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, fmt.Errorf("clock: every edge tile is faulty; no generator possible")
+	}
+	// Kill one more tile at a time and check delivery stays maximal.
+	trial := fm.Clone()
+	var healthyEdge []geom.Coord
+	for _, kill := range fm.HealthyCoords() {
+		trial.MarkFaulty(kill)
+		healthyEdge = healthyEdge[:0]
+		for _, c := range g.EdgeCoords() {
+			if trial.Healthy(c) {
+				healthyEdge = append(healthyEdge, c)
+			}
+		}
+		if len(healthyEdge) > 0 {
+			reach := Reachable(trial, healthyEdge)
+			want := trial.ConnectedToEdge()
+			for i := range reach {
+				if reach[i] != want[i] {
+					trial.MarkHealthy(kill)
+					return len(candidates), fmt.Errorf(
+						"clock: with %v also faulty, tile %v clock delivery (%v) diverges from edge connectivity (%v)",
+						kill, g.Coord(i), reach[i], want[i])
+				}
+			}
+		}
+		trial.MarkHealthy(kill)
+	}
+	return len(candidates), nil
+}

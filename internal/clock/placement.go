@@ -1,0 +1,159 @@
+package clock
+
+import (
+	"fmt"
+	"math"
+
+	"waferscale/internal/fault"
+	"waferscale/internal/geom"
+)
+
+// Generator placement. The setup procedure "first selects one or
+// multiple edge tiles and configures them to generate a faster clock"
+// (paper Section IV). Which edge tiles to pick matters: the deepest
+// forwarding chain sets the worst accumulated duty-cycle stress, the
+// clock-setup time and the tile-to-tile phase spread. Choosing k
+// generators is a k-center problem on the healthy-tile graph with
+// candidate set = healthy edge tiles; the greedy farthest-point
+// heuristic below is the standard 2-approximation.
+
+// PlacementResult reports a chosen generator set.
+type PlacementResult struct {
+	Generators []geom.Coord
+	MaxHops    int // deepest forwarding chain over reachable tiles
+	MeanHops   float64
+	Unreached  int // healthy tiles no generator can reach (fault-isolated)
+}
+
+// bfsFrom returns hop distances from one source over healthy tiles
+// (-1 where unreachable).
+func bfsFrom(fm *fault.Map, src geom.Coord) []int {
+	g := fm.Grid()
+	dist := make([]int, g.Size())
+	for i := range dist {
+		dist[i] = -1
+	}
+	if !fm.Healthy(src) {
+		return dist
+	}
+	dist[g.Index(src)] = 0
+	queue := []geom.Coord{src}
+	var nbuf []geom.Coord
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		d := dist[g.Index(c)]
+		nbuf = g.Neighbors(c, nbuf[:0])
+		for _, n := range nbuf {
+			i := g.Index(n)
+			if dist[i] < 0 && fm.Healthy(n) {
+				dist[i] = d + 1
+				queue = append(queue, n)
+			}
+		}
+	}
+	return dist
+}
+
+// evaluate summarizes a merged distance field.
+func evaluate(fm *fault.Map, dist []int) (maxHops int, mean float64, unreached int) {
+	g := fm.Grid()
+	sum, count := 0, 0
+	g.All(func(c geom.Coord) {
+		if !fm.Healthy(c) {
+			return
+		}
+		d := dist[g.Index(c)]
+		if d < 0 {
+			unreached++
+			return
+		}
+		if d > maxHops {
+			maxHops = d
+		}
+		sum += d
+		count++
+	})
+	if count > 0 {
+		mean = float64(sum) / float64(count)
+	}
+	return maxHops, mean, unreached
+}
+
+// PlaceGenerators greedily selects k healthy edge tiles minimizing the
+// maximum forwarding depth.
+func PlaceGenerators(fm *fault.Map, k int) (PlacementResult, error) {
+	if k < 1 {
+		return PlacementResult{}, fmt.Errorf("clock: need at least one generator")
+	}
+	g := fm.Grid()
+	var candidates []geom.Coord
+	for _, c := range g.EdgeCoords() {
+		if fm.Healthy(c) {
+			candidates = append(candidates, c)
+		}
+	}
+	if len(candidates) == 0 {
+		return PlacementResult{}, fmt.Errorf("clock: no healthy edge tile available")
+	}
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	// Precompute BFS fields per candidate.
+	fields := make([][]int, len(candidates))
+	for i, c := range candidates {
+		fields[i] = bfsFrom(fm, c)
+	}
+
+	merged := make([]int, g.Size())
+	for i := range merged {
+		merged[i] = -1
+	}
+	used := make([]bool, len(candidates))
+	var chosen []geom.Coord
+	for round := 0; round < k; round++ {
+		bestIdx, bestMax, bestMean := -1, math.MaxInt, math.Inf(1)
+		for i := range candidates {
+			if used[i] {
+				continue
+			}
+			trial := mergeDist(merged, fields[i])
+			maxH, mean, _ := evaluate(fm, trial)
+			if maxH < bestMax || (maxH == bestMax && mean < bestMean) {
+				bestIdx, bestMax, bestMean = i, maxH, mean
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		used[bestIdx] = true
+		chosen = append(chosen, candidates[bestIdx])
+		merged = mergeDist(merged, fields[bestIdx])
+	}
+	maxH, mean, unreached := evaluate(fm, merged)
+	return PlacementResult{
+		Generators: chosen,
+		MaxHops:    maxH,
+		MeanHops:   mean,
+		Unreached:  unreached,
+	}, nil
+}
+
+// mergeDist returns the element-wise min of two distance fields,
+// treating -1 as infinity.
+func mergeDist(a, b []int) []int {
+	out := make([]int, len(a))
+	for i := range a {
+		switch {
+		case a[i] < 0:
+			out[i] = b[i]
+		case b[i] < 0:
+			out[i] = a[i]
+		case b[i] < a[i]:
+			out[i] = b[i]
+		default:
+			out[i] = a[i]
+		}
+	}
+	return out
+}

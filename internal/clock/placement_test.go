@@ -1,0 +1,118 @@
+package clock
+
+import (
+	"math/rand"
+	"testing"
+
+	"waferscale/internal/fault"
+	"waferscale/internal/geom"
+)
+
+func TestPlaceOneGeneratorHealthy(t *testing.T) {
+	fm := fault.NewMap(geom.NewGrid(8, 8))
+	res, err := PlaceGenerators(fm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Generators) != 1 {
+		t.Fatalf("generators = %v", res.Generators)
+	}
+	// The best single edge tile on an 8x8 is an edge-middle tile:
+	// max distance 8+3=11 (corner picks would give 14).
+	if res.MaxHops > 11 {
+		t.Errorf("max hops = %d, a mid-edge generator achieves 11", res.MaxHops)
+	}
+	if res.Unreached != 0 {
+		t.Errorf("unreached = %d", res.Unreached)
+	}
+	if !fm.Grid().OnEdge(res.Generators[0]) {
+		t.Error("generator not on the edge")
+	}
+}
+
+// TestMoreGeneratorsShallowerChains: k-center objective improves
+// monotonically with k (greedy never regresses since the merged field
+// is element-wise min).
+func TestMoreGeneratorsShallowerChains(t *testing.T) {
+	fm := fault.NewMap(geom.NewGrid(16, 16))
+	prev := 1 << 30
+	for _, k := range []int{1, 2, 4, 8} {
+		res, err := PlaceGenerators(fm, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MaxHops > prev {
+			t.Errorf("k=%d: max hops %d worse than %d", k, res.MaxHops, prev)
+		}
+		prev = res.MaxHops
+	}
+	// Four well-placed generators roughly halve the single-generator
+	// depth on a 16x16.
+	one, _ := PlaceGenerators(fm, 1)
+	four, _ := PlaceGenerators(fm, 4)
+	if float64(four.MaxHops) > 0.7*float64(one.MaxHops) {
+		t.Errorf("4 generators give %d hops vs %d with one — too little gain", four.MaxHops, one.MaxHops)
+	}
+}
+
+// TestPlacementMatchesSetupSimulation: the placement's distance field
+// agrees with the hop counts of the event-driven clock setup.
+func TestPlacementMatchesSetupSimulation(t *testing.T) {
+	fm := fault.Random(geom.NewGrid(12, 12), 8, rand.New(rand.NewSource(7)))
+	res, err := PlaceGenerators(fm, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := RunSetup(fm, SetupConfig{Generators: res.Generators, ToggleCount: 16, HopLatency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MaxHops() != res.MaxHops {
+		t.Errorf("setup max hops %d != placement %d", plan.MaxHops(), res.MaxHops)
+	}
+	if got := len(plan.UnreachedTiles(fm)); got != res.Unreached {
+		t.Errorf("unreached: setup %d vs placement %d", got, res.Unreached)
+	}
+}
+
+func TestPlacementWithDeadEdgeRegion(t *testing.T) {
+	fm := fault.NewMap(geom.NewGrid(8, 8))
+	// Kill the whole west edge; generators must come from elsewhere.
+	for y := 0; y < 8; y++ {
+		fm.MarkFaulty(geom.C(0, y))
+	}
+	res, err := PlaceGenerators(fm, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range res.Generators {
+		if g.X == 0 {
+			t.Errorf("generator %v placed on the dead edge", g)
+		}
+	}
+	if res.Unreached != 0 {
+		t.Errorf("unreached = %d", res.Unreached)
+	}
+}
+
+func TestPlacementErrors(t *testing.T) {
+	fm := fault.NewMap(geom.NewGrid(4, 4))
+	if _, err := PlaceGenerators(fm, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	dead := fault.NewMap(geom.NewGrid(4, 4))
+	for _, c := range dead.Grid().EdgeCoords() {
+		dead.MarkFaulty(c)
+	}
+	if _, err := PlaceGenerators(dead, 1); err == nil {
+		t.Error("no healthy edge accepted")
+	}
+	// k larger than the candidate pool clamps.
+	res, err := PlaceGenerators(fm, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Generators) != 12 {
+		t.Errorf("clamped generators = %d, want all 12 edge tiles", len(res.Generators))
+	}
+}

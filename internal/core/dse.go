@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"waferscale/internal/chipio"
+	"waferscale/internal/jtag"
+	"waferscale/internal/pdn"
+)
+
+// Design-space exploration: the paper's concluding section points at
+// "design methods for higher-power waferscale systems"; these sweeps
+// quantify how the prototype's choices scale when the array grows, the
+// supply voltage moves, the bonding redundancy changes, the test
+// chains multiply, or denser decap technology (deep-trench capacitors,
+// footnote 2) arrives.
+
+// ArrayPoint is one array-size design point.
+type ArrayPoint struct {
+	Tiles        int
+	Cores        int
+	ThroughputT  float64 // TOPS
+	EdgeCurrentA float64
+	CenterVolt   float64
+	RegulationOK bool
+	LoadTime     time.Duration // full load with one chain per row
+}
+
+// SweepArraySize evaluates square arrays of the given side lengths,
+// keeping the per-tile design fixed. Larger arrays droop more: at some
+// size the edge-delivery scheme stops regulating — the knee this sweep
+// exposes is why TWVs matter for scale-up.
+func (d *Design) SweepArraySize(sides []int) ([]ArrayPoint, error) {
+	var out []ArrayPoint
+	for _, n := range sides {
+		cfg := d.Cfg
+		cfg.TilesX, cfg.TilesY = n, n
+		cfg.JTAGChains = n
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("core: side %d: %w", n, err)
+		}
+		sol, err := pdn.Solve(pdn.Config{
+			Grid:         cfg.Grid(),
+			EdgeVolts:    cfg.EdgeSupplyVolts,
+			TileCurrentA: cfg.PeakTilePowerW / cfg.FastCornerVolts,
+			SheetOhm:     d.SheetOhm,
+		})
+		if err != nil {
+			return nil, err
+		}
+		min, _ := sol.MinVolt()
+		reg := pdn.CheckRegulation(sol, d.LDO, cfg.PeakTilePowerW)
+		perTileBytes := cfg.CoresPerTile*cfg.PrivateMemPerCore + cfg.SharedBanksPerTile*cfg.BankBytes
+		lt, err := jtag.DefaultLoadModel().LoadTime(cfg.Tiles(), cfg.JTAGChains, perTileBytes/4, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ArrayPoint{
+			Tiles:        cfg.Tiles(),
+			Cores:        cfg.TotalCores(),
+			ThroughputT:  cfg.ComputeThroughputOPS() / 1e12,
+			EdgeCurrentA: cfg.PeakWaferCurrentA(),
+			CenterVolt:   min,
+			RegulationOK: reg.TilesOutOfRange == 0,
+			LoadTime:     lt,
+		})
+	}
+	return out, nil
+}
+
+// RedundancyPoint is one pillar-redundancy design point.
+type RedundancyPoint struct {
+	PillarsPerPad int
+	ChipletYield  float64
+	ExpectedBad   float64
+	PadHeightUM   float64 // taller pads cost edge density
+}
+
+// SweepPillarRedundancy evaluates 1..maxPillars pillars per pad.
+func (d *Design) SweepPillarRedundancy(maxPillars int) []RedundancyPoint {
+	var out []RedundancyPoint
+	for p := 1; p <= maxPillars; p++ {
+		b := chipio.BondConfig{
+			PillarYield:    d.PillarYield,
+			PillarsPerPad:  p,
+			PadsPerChiplet: d.Cfg.Compute.NumIOs,
+		}
+		out = append(out, RedundancyPoint{
+			PillarsPerPad: p,
+			ChipletYield:  b.ChipletYield(),
+			ExpectedBad:   b.ExpectedFaultyChiplets(d.Cfg.Chiplets()),
+			PadHeightUM:   chipio.PadWidthUM + float64(p-1)*chipio.PillarPitchUM,
+		})
+	}
+	return out
+}
+
+// ChainPoint is one JTAG-chain-count design point.
+type ChainPoint struct {
+	Chains   int
+	LoadTime time.Duration
+}
+
+// SweepChains evaluates load time versus chain count.
+func (d *Design) SweepChains(chainCounts []int) ([]ChainPoint, error) {
+	perTileBytes := d.Cfg.CoresPerTile*d.Cfg.PrivateMemPerCore + d.Cfg.SharedBanksPerTile*d.Cfg.BankBytes
+	m := jtag.DefaultLoadModel()
+	var out []ChainPoint
+	for _, c := range chainCounts {
+		lt, err := m.LoadTime(d.Cfg.Tiles(), c, perTileBytes/4, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ChainPoint{Chains: c, LoadTime: lt})
+	}
+	return out, nil
+}
+
+// DecapPoint compares decap technologies (footnote 2 ablation).
+type DecapPoint struct {
+	Tech         string
+	DensityNFMM2 float64
+	AreaMM2      float64 // area for the 20 nF per-tile budget
+	TileAreaPct  float64
+}
+
+// SweepDecapTech compares the prototype's planar MOS decap against the
+// under-development deep-trench capacitors in the Si-IF substrate.
+func (d *Design) SweepDecapTech() []DecapPoint {
+	tileArea := d.Cfg.TileWidthMM() * d.Cfg.TileHeightMM()
+	budget := pdn.RequiredDecapF(0.200, 10e-9, 0.1) // the paper's 20 nF
+	techs := []struct {
+		name    string
+		density float64 // F per mm^2
+	}{
+		{"planar MOS (prototype)", 20e-9 / (tileArea * 0.35)},
+		{"deep-trench (Si-IF substrate)", 10 * 20e-9 / (tileArea * 0.35)},
+	}
+	var out []DecapPoint
+	for _, t := range techs {
+		area := budget / t.density
+		out = append(out, DecapPoint{
+			Tech:         t.name,
+			DensityNFMM2: t.density * 1e9,
+			AreaMM2:      area,
+			TileAreaPct:  100 * area / tileArea,
+		})
+	}
+	return out
+}
+
+// FormatArraySweep renders an array-size sweep.
+func FormatArraySweep(points []ArrayPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %8s %8s %10s %10s %7s %12s\n",
+		"tiles", "cores", "TOPS", "edge A", "center V", "reg ok", "load time")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%8d %8d %8.2f %10.1f %10.3f %7v %12v\n",
+			p.Tiles, p.Cores, p.ThroughputT, p.EdgeCurrentA, p.CenterVolt,
+			p.RegulationOK, p.LoadTime.Round(time.Second))
+	}
+	return b.String()
+}

@@ -1,0 +1,42 @@
+package core
+
+import "testing"
+
+// TestYieldToConnectivity composes Section V with Section VI: with
+// single-pillar bonding the expected wafer loses ~1/3 of its tiles and
+// the network shatters; with the prototype's dual pillars the wafer is
+// essentially fault-free and connectivity is total.
+func TestYieldToConnectivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-array Monte Carlo")
+	}
+	d := NewDesign()
+	single, err := d.YieldToConnectivity(1, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := d.YieldToConnectivity(2, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single pillar: tile loss ~1 - 0.8148*0.8935 ~ 0.33.
+	if single.TileLossProb < 0.25 || single.TileLossProb > 0.45 {
+		t.Errorf("single-pillar tile loss = %.3f", single.TileLossProb)
+	}
+	if single.MeanFaultyTiles < 250 {
+		t.Errorf("single-pillar faulty tiles = %.0f", single.MeanFaultyTiles)
+	}
+	if single.MeanDisconnected < 50 {
+		t.Errorf("single-pillar disconnection = %.1f%%, expected a shattered network", single.MeanDisconnected)
+	}
+	// Dual pillars: essentially no faults, essentially no disconnection.
+	if dual.MeanFaultyTiles > 1 {
+		t.Errorf("dual-pillar faulty tiles = %.2f", dual.MeanFaultyTiles)
+	}
+	if dual.MeanDisconnected > 0.5 {
+		t.Errorf("dual-pillar disconnection = %.3f%%", dual.MeanDisconnected)
+	}
+	if _, err := d.YieldToConnectivity(0, 1, 1); err == nil {
+		t.Error("zero pillars accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"waferscale/internal/fault"
+	"waferscale/internal/geom"
+)
+
+func TestBuildMachineDefaults(t *testing.T) {
+	m, err := NewDesign().BuildMachine(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cfg.TilesX != 4 || m.Cfg.CoresPerTile != 14 {
+		t.Errorf("machine config = %dx%d, %d cores/tile", m.Cfg.TilesX, m.Cfg.TilesY, m.Cfg.CoresPerTile)
+	}
+}
+
+func TestBuildMachineInvalidSide(t *testing.T) {
+	d := NewDesign()
+	d.Cfg.CoresPerTile = 0 // breaks the reduced config too
+	if _, err := d.BuildMachine(4, nil); err == nil {
+		t.Error("invalid reduced system accepted")
+	}
+}
+
+// TestValidateSystem is the E1 experiment as a flow step: the reduced
+// multi-tile machine runs BFS and matches the host oracle.
+func TestValidateSystem(t *testing.T) {
+	res, err := NewDesign().ValidateSystem(4, 12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Error("BFS diverged from the host reference")
+	}
+	if res.Cycles <= 0 || res.RemoteOps <= 0 || res.Profile.ActiveCores != 12 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestValidateSystemWithFaultyTile(t *testing.T) {
+	d := NewDesign()
+	cfg := d.Cfg
+	cfg.TilesX, cfg.TilesY, cfg.JTAGChains = 4, 4, 4
+	fm := fault.NewMap(cfg.Grid())
+	fm.MarkFaulty(geom.C(3, 2))
+	res, err := d.ValidateSystem(4, 8, fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Error("BFS with a faulty tile diverged")
+	}
+}

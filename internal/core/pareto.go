@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"waferscale/internal/chipio"
+	"waferscale/internal/pdn"
+)
+
+// Pareto exploration: the paper's conclusion points at "design methods
+// for higher-power waferscale systems"; this sweep enumerates design
+// points over array size, edge supply voltage and pillar redundancy,
+// evaluates each with the flow's models, and extracts the Pareto
+// frontier over (throughput up, edge power down, expected faulty
+// chiplets down). It rejects points that fail hard constraints (LDO
+// regulation across the droop map).
+
+// DesignPoint is one evaluated candidate.
+type DesignPoint struct {
+	ArraySide     int
+	EdgeVolts     float64
+	PillarsPerPad int
+
+	ThroughputTOPS float64
+	EdgePowerW     float64
+	ExpectedBad    float64 // expected faulty chiplets from bonding
+	CenterVolt     float64
+	Feasible       bool // regulation holds everywhere
+}
+
+// dominates reports whether a is at least as good as b on every
+// objective and strictly better on one.
+func dominates(a, b DesignPoint) bool {
+	geq := a.ThroughputTOPS >= b.ThroughputTOPS &&
+		a.EdgePowerW <= b.EdgePowerW &&
+		a.ExpectedBad <= b.ExpectedBad
+	gt := a.ThroughputTOPS > b.ThroughputTOPS ||
+		a.EdgePowerW < b.EdgePowerW ||
+		a.ExpectedBad < b.ExpectedBad
+	return geq && gt
+}
+
+// ParetoSpace defines the exploration grid.
+type ParetoSpace struct {
+	Sides   []int
+	EdgeV   []float64
+	Pillars []int
+}
+
+// DefaultParetoSpace spans the prototype's neighborhood.
+func DefaultParetoSpace() ParetoSpace {
+	return ParetoSpace{
+		Sides:   []int{16, 24, 32, 40},
+		EdgeV:   []float64{2.0, 2.5, 3.0},
+		Pillars: []int{1, 2},
+	}
+}
+
+// ExplorePareto evaluates the grid and returns all feasible points plus
+// the Pareto-optimal subset (both sorted by throughput).
+func (d *Design) ExplorePareto(space ParetoSpace) (all, frontier []DesignPoint, err error) {
+	for _, side := range space.Sides {
+		for _, ev := range space.EdgeV {
+			for _, pp := range space.Pillars {
+				pt, err := d.evaluatePoint(side, ev, pp)
+				if err != nil {
+					return nil, nil, fmt.Errorf("core: point (%d,%.1fV,%dp): %w", side, ev, pp, err)
+				}
+				if pt.Feasible {
+					all = append(all, pt)
+				}
+			}
+		}
+	}
+	for _, p := range all {
+		dominated := false
+		for _, q := range all {
+			if dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			frontier = append(frontier, p)
+		}
+	}
+	byThroughput := func(s []DesignPoint) {
+		sort.Slice(s, func(i, j int) bool { return s[i].ThroughputTOPS < s[j].ThroughputTOPS })
+	}
+	byThroughput(all)
+	byThroughput(frontier)
+	return all, frontier, nil
+}
+
+func (d *Design) evaluatePoint(side int, edgeV float64, pillars int) (DesignPoint, error) {
+	cfg := d.Cfg
+	cfg.TilesX, cfg.TilesY = side, side
+	cfg.JTAGChains = side
+	cfg.EdgeSupplyVolts = edgeV
+	if err := cfg.Validate(); err != nil {
+		return DesignPoint{}, err
+	}
+	pt := DesignPoint{
+		ArraySide:      side,
+		EdgeVolts:      edgeV,
+		PillarsPerPad:  pillars,
+		ThroughputTOPS: cfg.ComputeThroughputOPS() / 1e12,
+		EdgePowerW:     cfg.PeakWaferCurrentA() * edgeV,
+	}
+	bond := chipio.BondConfig{
+		PillarYield:    d.PillarYield,
+		PillarsPerPad:  pillars,
+		PadsPerChiplet: cfg.Compute.NumIOs,
+	}
+	pt.ExpectedBad = bond.ExpectedFaultyChiplets(cfg.Chiplets())
+
+	sol, err := pdn.Solve(pdn.Config{
+		Grid:         cfg.Grid(),
+		EdgeVolts:    edgeV,
+		TileCurrentA: cfg.PeakTilePowerW / cfg.FastCornerVolts,
+		SheetOhm:     d.SheetOhm,
+	})
+	if err != nil {
+		return DesignPoint{}, err
+	}
+	pt.CenterVolt, _ = sol.MinVolt()
+	// Feasibility: the LDO must regulate at every tile. A higher edge
+	// voltage extends droop headroom but must stay within the LDO's
+	// tracked input range at the edge tiles too.
+	rep := pdn.CheckRegulation(sol, d.LDO, cfg.PeakTilePowerW)
+	pt.Feasible = rep.TilesOutOfRange == 0 && edgeV <= d.LDO.MaxInV+0.5001
+	return pt, nil
+}

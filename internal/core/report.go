@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"waferscale/internal/fault"
+	"waferscale/internal/pdn"
+)
+
+// WriteFullReport runs every analysis on the design against the fault
+// map and writes a human-readable engineering report — the one-stop
+// rendering used by cmd/waferscale and the quickstart example.
+func (d *Design) WriteFullReport(w io.Writer, fm *fault.Map, mcTrials int, seed int64) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, d.FormatSpec())
+
+	power, err := d.AnalyzePower()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Power delivery (Section III / Fig. 2)\n")
+	fmt.Fprintf(w, "  edge supply           %.2f V\n", d.Cfg.EdgeSupplyVolts)
+	fmt.Fprintf(w, "  center-of-wafer       %.2f V at tile %v\n", power.MinVolt, power.MinAt)
+	fmt.Fprintf(w, "  plane resistive loss  %.1f W\n", power.ResistiveLossW)
+	fmt.Fprintf(w, "  LDO headroom loss     %.1f W\n", power.Regulation.TotalLDOLossW)
+	fmt.Fprintf(w, "  edge power draw       %.0f W\n", power.EdgePowerW)
+	fmt.Fprintf(w, "  tiles in regulation   %d/%d (window %.1f-%.1f V)\n",
+		power.Regulation.TilesInRegulation, d.Cfg.Tiles(), d.LDO.MinOutV, d.LDO.MaxOutV)
+	fmt.Fprintf(w, "%s\n", pdn.FormatComparison(power.Strategies))
+
+	clk, err := d.AnalyzeClock(fm)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Clocking (Section IV / Fig. 4)\n")
+	fmt.Fprintf(w, "  passive CDN limit     %.0f kHz (why forwarding is needed)\n", clk.PassiveCDNMaxHz/1e3)
+	fmt.Fprintf(w, "  generator candidates  %d healthy edge tiles\n", clk.GeneratorChoices)
+	fmt.Fprintf(w, "  clocked tiles         %d/%d healthy\n", clk.Resiliency.ClockedTiles, clk.Resiliency.HealthyTiles)
+	fmt.Fprintf(w, "  clock-starved tiles   %v\n", clk.Resiliency.UnreachedTiles)
+	fmt.Fprintf(w, "  naive 5%%/hop DCD      clock dies after %d hops\n", clk.NaiveKillDepth)
+	fmt.Fprintf(w, "  inverted forwarding   worst duty error %.1f%%\n", clk.InvertedWorst*100)
+	fmt.Fprintf(w, "  inversion + DCC       worst duty error %.1f%%\n\n", clk.DCCWorst*100)
+
+	yld, err := d.AnalyzeYield()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "I/O and bonding yield (Section V / Fig. 5)\n")
+	fmt.Fprintf(w, "  chiplet yield         %.2f%% (1 pillar/pad) -> %.3f%% (%d pillars/pad)\n",
+		yld.Comparison.SingleChipletYield*100, yld.Comparison.DualChipletYield*100, d.PillarsPerPad)
+	fmt.Fprintf(w, "  expected bad chiplets %.0f -> %.2f of %d\n",
+		yld.Comparison.SingleExpectedBad, yld.Comparison.DualExpectedBad, d.Cfg.Chiplets())
+	fmt.Fprintf(w, "  I/O energy            %.3f pJ/bit\n", yld.EnergyPerBitPJ)
+	fmt.Fprintf(w, "  compute I/O area      %.2f mm2\n\n", yld.IOAreaMM2)
+
+	net := d.AnalyzeNetwork([]int{1, 5, 10}, mcTrials, seed)
+	fmt.Fprintf(w, "Network resiliency (Section VI / Fig. 6, %d trials)\n", mcTrials)
+	fmt.Fprintf(w, "  aggregate bandwidth   %.2f TB/s\n", net.Bandwidth.AggregateBps/1e12)
+	fmt.Fprintf(w, "  %8s  %16s  %16s\n", "faults", "1 net disc.%", "2 nets disc.%")
+	for _, p := range net.Fig6 {
+		fmt.Fprintf(w, "  %8d  %16.2f  %16.3f\n", p.Faults, p.PctSingle.Mean, p.PctDual.Mean)
+	}
+	fmt.Fprintln(w)
+
+	tst, err := d.AnalyzeTest()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Test infrastructure (Section VII)\n")
+	fmt.Fprintf(w, "  full-wafer load       %v (1 chain) -> %v (%d chains), %.1fx\n",
+		tst.SingleChainLoad.Round(time.Minute), tst.MultiChainLoad.Round(time.Second),
+		d.Cfg.JTAGChains, tst.ChainSpeedup)
+	fmt.Fprintf(w, "  broadcast mode        %.0fx shift-latency reduction\n\n", tst.BroadcastSpeedup)
+
+	sub, err := d.AnalyzeSubstrate()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Substrate (Section VIII)\n")
+	fmt.Fprintf(w, "  reticle exposures     %dx%d (12x6 tiles each, stitched)\n", sub.ReticlesX, sub.ReticlesY)
+	fmt.Fprintf(w, "  tile-pair nets routed %d jog-free, %d DRC violations\n", sub.RoutedNets, sub.DRCViolations)
+	fmt.Fprintf(w, "  1-layer fallback      alive=%v, shared capacity -%.0f%%\n\n",
+		sub.FallbackAlive, sub.FallbackCapacityLoss)
+
+	tr, err := d.AnalyzeTransient()
+	if err != nil {
+		return err
+	}
+	fr, err := d.AnalyzeFrequency()
+	if err != nil {
+		return err
+	}
+	pl, err := d.AnalyzePlacement(fm, 4)
+	if err != nil {
+		return err
+	}
+	kgd, err := d.AnalyzeKGD(0.90)
+	if err != nil {
+		return err
+	}
+	iop := d.AnalyzeIOPower()
+	fmt.Fprintf(w, "Closure checks\n")
+	fmt.Fprintf(w, "  LDO transient         %.0f mV undershoot at Vin=%.2f V (window ok=%v); min decap %.1f nF\n",
+		tr.UndershootV*1000, tr.WorstInputV, tr.InWindow, tr.MinDecapF*1e9)
+	fmt.Fprintf(w, "  frequency closure     worst tile %.2f V -> fmax %.0f MHz (300 MHz ok=%v, 400 MHz ok=%v)\n",
+		fr.WorstRegulatedV, fr.SystemFMaxHz/1e6, fr.NominalOK, fr.PLLCeilingOK)
+	fmt.Fprintf(w, "  clock placement       1 gen: %d max hops; %d gens: %d max hops\n",
+		pl.Single.MaxHops, pl.K, pl.Multi.MaxHops)
+	fmt.Fprintf(w, "  KGD screening         %.0f faulty sites unscreened -> %.2f screened (die yield %.0f%%)\n",
+		kgd.FaultySitesNoKGD, kgd.FaultySitesKGD, kgd.DieYield*100)
+	fmt.Fprintf(w, "  I/O power             %.1f W Si-IF vs %.0f W off-package (%.0fx)\n",
+		iop.SiIFPowerW, iop.OffPackagePowerW, iop.Advantage)
+	return nil
+}

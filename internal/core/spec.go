@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SpecRow is one entry of the Table I rendering.
+type SpecRow struct {
+	Name  string
+	Value string
+}
+
+// Spec derives the paper's Table I ("Salient Features of the Waferscale
+// Processor System") from the design's configuration. Every value is
+// computed, not transcribed.
+func (d *Design) Spec() []SpecRow {
+	c := d.Cfg
+	human := func(v float64, unit string) string {
+		switch {
+		case v >= 1e12:
+			return fmt.Sprintf("%.3g T%s", v/1e12, unit)
+		case v >= 1e9:
+			return fmt.Sprintf("%.3g G%s", v/1e9, unit)
+		case v >= 1e6:
+			return fmt.Sprintf("%.3g M%s", v/1e6, unit)
+		case v >= 1e3:
+			return fmt.Sprintf("%.3g k%s", v/1e3, unit)
+		}
+		return fmt.Sprintf("%.3g %s", v, unit)
+	}
+	bytesStr := func(b int64) string {
+		switch {
+		case b >= 1<<30:
+			return fmt.Sprintf("%d MiB", b>>20)
+		case b >= 1<<20:
+			return fmt.Sprintf("%d MiB", b>>20)
+		case b >= 1<<10:
+			return fmt.Sprintf("%d KiB", b>>10)
+		}
+		return fmt.Sprintf("%d B", b)
+	}
+	return []SpecRow{
+		{"# Compute Chiplets", fmt.Sprintf("%d", c.Tiles())},
+		{"# Memory Chiplets", fmt.Sprintf("%d", c.Tiles())},
+		{"# Cores per Tile", fmt.Sprintf("%d", c.CoresPerTile)},
+		{"Compute Chiplet Size", fmt.Sprintf("%.2fmm x %.2fmm", c.Compute.WidthMM, c.Compute.HeightMM)},
+		{"Memory Chiplet Size", fmt.Sprintf("%.2fmm x %.2fmm", c.Memory.WidthMM, c.Memory.HeightMM)},
+		{"Network B/W", human(c.NetworkBandwidth(), "Bps")},
+		{"Private Memory per Core", bytesStr(int64(c.PrivateMemPerCore))},
+		{"Total Shared Memory", bytesStr(c.TotalSharedMem())},
+		{"Total # Cores", fmt.Sprintf("%d", c.TotalCores())},
+		{"Compute Throughput", human(c.ComputeThroughputOPS(), "OPS")},
+		{"Shared Memory B/W", human(c.SharedMemBandwidth(), "B/s")},
+		{"# I/Os per Chiplet", fmt.Sprintf("%d(C)/%d(M)", c.Compute.NumIOs, c.Memory.NumIOs)},
+		{"Total Area (w/ edge I/Os)", fmt.Sprintf("%.0f mm2", c.TotalAreaMM2)},
+		{"Nominal Freq./Voltage", fmt.Sprintf("%.0f MHz/%.1fV", c.FreqHz/1e6, c.NominalVolts)},
+		{"Total Peak Power", fmt.Sprintf("%.0f W", c.PeakWaferPowerW())},
+	}
+}
+
+// FormatSpec renders Table I as aligned text.
+func (d *Design) FormatSpec() string {
+	rows := d.Spec()
+	width := 0
+	for _, r := range rows {
+		if len(r.Name) > width {
+			width = len(r.Name)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Table I: Salient Features of the Waferscale Processor System\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-*s  %s\n", width, r.Name, r.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"waferscale/internal/geom"
+)
+
+func TestClusteredExactCount(t *testing.T) {
+	g := geom.NewGrid(32, 32)
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 5, 20, 100} {
+		m := Clustered(g, n, DefaultClusters(), rng)
+		if m.Count() != n {
+			t.Errorf("Clustered(%d) placed %d", n, m.Count())
+		}
+	}
+}
+
+func TestClusteredPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Clustered(geom.NewGrid(2, 2), 9, DefaultClusters(), rand.New(rand.NewSource(1)))
+}
+
+// TestClusteredIsClumpier: the adjacency statistic separates clustered
+// from uniform maps at the same fault count.
+func TestClusteredIsClumpier(t *testing.T) {
+	g := geom.NewGrid(32, 32)
+	const n, trials = 20, 30
+	var uniform, clustered float64
+	for i := 0; i < trials; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		uniform += ClusterStats(Random(g, n, rng))
+		rng = rand.New(rand.NewSource(int64(i)))
+		clustered += ClusterStats(Clustered(g, n, DefaultClusters(), rng))
+	}
+	uniform /= trials
+	clustered /= trials
+	if clustered < 3*uniform+0.2 {
+		t.Errorf("clustered adjacency %.3f not clearly above uniform %.3f", clustered, uniform)
+	}
+}
+
+func TestClusterStatsEmpty(t *testing.T) {
+	if ClusterStats(NewMap(geom.NewGrid(4, 4))) != 0 {
+		t.Error("empty map should score 0")
+	}
+}
+
+func TestClusteredMonteCarloDeterministic(t *testing.T) {
+	mc := ClusteredMonteCarlo{
+		Grid: geom.NewGrid(16, 16), Cluster: DefaultClusters(),
+		Trials: 8, Seed: 3,
+	}
+	metric := func(m *Map) float64 { return ClusterStats(m) }
+	a := mc.Samples(10, metric)
+	b := mc.Samples(10, metric)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d not deterministic", i)
+		}
+	}
+	if mc2 := (ClusteredMonteCarlo{Trials: 0}); mc2.Samples(1, metric) != nil {
+		t.Error("zero trials should return nil")
+	}
+}
+
+func TestClusteredDegenerateMeanSize(t *testing.T) {
+	g := geom.NewGrid(8, 8)
+	m := Clustered(g, 5, ClusterConfig{MeanClusterSize: 0, Radius: 1}, rand.New(rand.NewSource(2)))
+	if m.Count() != 5 {
+		t.Errorf("degenerate mean size placed %d", m.Count())
+	}
+}

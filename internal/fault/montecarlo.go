@@ -1,0 +1,118 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"waferscale/internal/geom"
+)
+
+// Metric evaluates one fault map and returns a scalar (e.g. the
+// percentage of disconnected source-destination pairs).
+type Metric func(*Map) float64
+
+// MonteCarlo runs trials of a metric over random fault maps with a
+// fixed fault count, as the paper does for Fig. 6 ("a set of randomly
+// generated fault maps"). Trials are distributed across CPUs; each
+// trial uses an independent rand.Rand seeded deterministically from the
+// base seed so results are reproducible regardless of scheduling.
+type MonteCarlo struct {
+	Grid   geom.Grid
+	Trials int
+	Seed   int64
+	// Workers caps parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Run evaluates the metric over Trials random maps with exactly faults
+// faulty tiles and returns summary statistics.
+func (mc MonteCarlo) Run(faults int, metric Metric) Stats {
+	samples := mc.Samples(faults, metric)
+	return Collect(samples)
+}
+
+// Samples returns the raw per-trial metric values, in trial order.
+func (mc MonteCarlo) Samples(faults int, metric Metric) []float64 {
+	if mc.Trials <= 0 {
+		return nil
+	}
+	samples := make([]float64, mc.Trials)
+	mc.ForEachMap(faults, func(i int, m *Map) { samples[i] = metric(m) })
+	return samples
+}
+
+// ForEachMap invokes fn for every trial's fault map, in parallel, with
+// the same deterministic per-trial seeding as Samples. Use this when a
+// single pass over the map produces several metrics at once; fn must be
+// safe for concurrent calls with distinct trial indices.
+func (mc MonteCarlo) ForEachMap(faults int, fn func(trial int, m *Map)) {
+	if mc.Trials <= 0 {
+		return
+	}
+	workers := mc.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > mc.Trials {
+		workers = mc.Trials
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < mc.Trials; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rng := rand.New(rand.NewSource(trialSeed(mc.Seed, faults, i)))
+				fn(i, Random(mc.Grid, faults, rng))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Sweep evaluates the metric at each fault count and returns one Stats
+// per count, in order.
+func (mc MonteCarlo) Sweep(faultCounts []int, metric Metric) []Stats {
+	out := make([]Stats, len(faultCounts))
+	for i, n := range faultCounts {
+		out[i] = mc.Run(n, metric)
+	}
+	return out
+}
+
+// trialSeed derives a per-trial seed via a splitmix64-style mix so that
+// trials are decorrelated even for adjacent indices.
+func trialSeed(base int64, faults, trial int) int64 {
+	z := uint64(base) ^ uint64(faults)<<32 ^ uint64(trial)
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// SweepPoint is one row of a fault-count sweep, ready for reporting.
+type SweepPoint struct {
+	Faults int
+	Stats  Stats
+}
+
+// FormatSweep renders sweep results as an aligned text table with the
+// given value label (used by the CLI and the benchmark harness).
+func FormatSweep(points []SweepPoint, label string) string {
+	s := fmt.Sprintf("%8s  %12s  %12s  %12s  %12s\n", "faults", label+" mean", "min", "max", "stddev")
+	for _, p := range points {
+		s += fmt.Sprintf("%8d  %12.4f  %12.4f  %12.4f  %12.4f\n",
+			p.Faults, p.Stats.Mean, p.Stats.Min, p.Stats.Max, p.Stats.StdDev)
+	}
+	return s
+}

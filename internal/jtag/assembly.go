@@ -1,0 +1,153 @@
+package jtag
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// During-assembly testing (paper Section VII.B): the progressive
+// unrolling mechanism "can also be used for during-assembly testing to
+// intermittently check for failures in a partially bonded system. This
+// scheme would help to identify and discard partially populated faulty
+// systems and minimize wastage of KGD chiplets."
+//
+// AssemblySession simulates bonding a row chain one tile at a time,
+// where each placement has a small probability of a bad bond, and
+// compares two policies:
+//
+//   - test-at-end: bond everything, test once; a bad bond discovered at
+//     the end wastes every known-good die already placed (the wafer is
+//     discarded, dies cannot be reworked off the Si-IF);
+//   - test-per-placement: run the unrolling check after every bond; a
+//     bad bond is caught immediately, wasting only the dies placed so
+//     far on this wafer — on average half as many, and crucially the
+//     *count is known*, so a threshold policy can abandon early.
+type AssemblySession struct {
+	Tiles        int // chain length to populate
+	CoresPerTile int
+	BondFailProb float64 // probability one placement bonds badly
+	rng          *rand.Rand
+}
+
+// NewAssemblySession builds a session with a deterministic seed.
+func NewAssemblySession(tiles, cores int, bondFailProb float64, seed int64) *AssemblySession {
+	return &AssemblySession{
+		Tiles:        tiles,
+		CoresPerTile: cores,
+		BondFailProb: bondFailProb,
+		rng:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+// AssemblyRun reports one wafer's assembly attempt.
+type AssemblyRun struct {
+	Placed        int  // dies bonded before stopping
+	BadBondAt     int  // index of the failed placement, -1 if none
+	DetectedAt    int  // placement count when the failure was detected
+	WastedKGD     int  // known-good dies lost with the discarded wafer
+	WaferAccepted bool // the chain fully populated and tested clean
+}
+
+// RunOnce assembles one chain under the chosen policy. With
+// testPerPlacement the unrolling check runs after every bond (the
+// simulated JTAG procedure actually executes); otherwise a single full
+// unrolling runs at the end.
+func (s *AssemblySession) RunOnce(testPerPlacement bool) (AssemblyRun, error) {
+	w := NewWaferChain(s.Tiles, s.CoresPerTile)
+	// Pre-draw which placement (if any) goes bad.
+	badAt := -1
+	for i := 0; i < s.Tiles; i++ {
+		if s.rng.Float64() < s.BondFailProb {
+			badAt = i
+			break
+		}
+	}
+	run := AssemblyRun{BadBondAt: badAt, DetectedAt: -1}
+
+	if testPerPlacement {
+		for i := 0; i < s.Tiles; i++ {
+			run.Placed++
+			if i == badAt {
+				w.Tiles[i].MarkFaulty()
+			}
+			// Test the chain as populated so far: unroll through the
+			// already-verified tiles to the newest one.
+			sub := &WaferChain{Tiles: w.Tiles[:i+1], Modes: make([]TileMode, i+1)}
+			res, err := ProgressiveUnroll(sub)
+			if err != nil {
+				return run, err
+			}
+			if res.FaultyTile >= 0 {
+				run.DetectedAt = run.Placed
+				run.WastedKGD = run.Placed - 1 // the faulty die was not KGD waste
+				return run, nil
+			}
+		}
+		run.WaferAccepted = true
+		return run, nil
+	}
+
+	// Test-at-end policy.
+	for i := 0; i < s.Tiles; i++ {
+		run.Placed++
+		if i == badAt {
+			w.Tiles[i].MarkFaulty()
+		}
+	}
+	res, err := ProgressiveUnroll(w)
+	if err != nil {
+		return run, err
+	}
+	if res.FaultyTile >= 0 {
+		run.DetectedAt = run.Placed
+		run.WastedKGD = run.Placed - 1
+		return run, nil
+	}
+	run.WaferAccepted = true
+	return run, nil
+}
+
+// PolicyComparison aggregates many assembly attempts per policy.
+type PolicyComparison struct {
+	Wafers              int
+	FailProb            float64
+	WastedPerFailureEnd float64 // mean KGD dies wasted per failed wafer, test-at-end
+	WastedPerFailureInc float64 // same, test-per-placement
+	FailuresEnd         int
+	FailuresInc         int
+}
+
+// ComparePolicies runs wafers assembly attempts under both policies.
+func ComparePolicies(tiles, cores int, bondFailProb float64, wafers int, seed int64) (PolicyComparison, error) {
+	cmp := PolicyComparison{Wafers: wafers, FailProb: bondFailProb}
+	var wastedEnd, wastedInc int
+	for i := 0; i < wafers; i++ {
+		// Same bond-failure draw for both policies: seed per wafer.
+		end, err := NewAssemblySession(tiles, cores, bondFailProb, seed+int64(i)).RunOnce(false)
+		if err != nil {
+			return cmp, err
+		}
+		inc, err := NewAssemblySession(tiles, cores, bondFailProb, seed+int64(i)).RunOnce(true)
+		if err != nil {
+			return cmp, err
+		}
+		if end.BadBondAt != inc.BadBondAt {
+			return cmp, fmt.Errorf("jtag: policies saw different failures (%d vs %d)", end.BadBondAt, inc.BadBondAt)
+		}
+		if !end.WaferAccepted {
+			cmp.FailuresEnd++
+			wastedEnd += end.WastedKGD
+		}
+		if !inc.WaferAccepted {
+			cmp.FailuresInc++
+			wastedInc += inc.WastedKGD
+		}
+	}
+	if cmp.FailuresEnd > 0 {
+		cmp.WastedPerFailureEnd = float64(wastedEnd) / float64(cmp.FailuresEnd)
+	}
+	if cmp.FailuresInc > 0 {
+		cmp.WastedPerFailureInc = float64(wastedInc) / float64(cmp.FailuresInc)
+	}
+	return cmp, nil
+}

@@ -1,0 +1,76 @@
+package jtag
+
+import (
+	"testing"
+)
+
+func TestAssemblyCleanRun(t *testing.T) {
+	s := NewAssemblySession(8, 2, 0, 1) // no bond failures
+	for _, perPlacement := range []bool{false, true} {
+		run, err := s.RunOnce(perPlacement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !run.WaferAccepted || run.Placed != 8 || run.WastedKGD != 0 {
+			t.Errorf("perPlacement=%v: clean run = %+v", perPlacement, run)
+		}
+	}
+}
+
+func TestAssemblyDetectsFailureImmediately(t *testing.T) {
+	// Force a failure by using probability 1: the first placement is bad.
+	s := NewAssemblySession(8, 2, 1, 1)
+	run, err := s.RunOnce(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.WaferAccepted {
+		t.Fatal("bad wafer accepted")
+	}
+	if run.DetectedAt != 1 || run.Placed != 1 || run.WastedKGD != 0 {
+		t.Errorf("per-placement detection = %+v, want caught at the first bond", run)
+	}
+}
+
+func TestAssemblyEndPolicyWastesEverything(t *testing.T) {
+	s := NewAssemblySession(8, 2, 1, 1)
+	run, err := s.RunOnce(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.WaferAccepted {
+		t.Fatal("bad wafer accepted")
+	}
+	if run.Placed != 8 || run.WastedKGD != 7 {
+		t.Errorf("test-at-end = %+v, want all 7 good dies wasted", run)
+	}
+}
+
+// TestSec7BDuringAssemblySavesKGD reproduces the Section VII.B claim:
+// testing during assembly minimizes wastage of known-good dies —
+// roughly halving the loss per failed wafer.
+func TestSec7BDuringAssemblySavesKGD(t *testing.T) {
+	cmp, err := ComparePolicies(16, 2, 0.08, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.FailuresEnd != cmp.FailuresInc {
+		t.Fatalf("policies must see identical failures: %d vs %d", cmp.FailuresEnd, cmp.FailuresInc)
+	}
+	if cmp.FailuresEnd == 0 {
+		t.Fatal("no failures sampled; raise the probability")
+	}
+	if cmp.WastedPerFailureInc >= cmp.WastedPerFailureEnd {
+		t.Errorf("per-placement testing wasted %.1f >= %.1f dies per failure",
+			cmp.WastedPerFailureInc, cmp.WastedPerFailureEnd)
+	}
+	// Test-at-end always wastes the full chain minus the bad die.
+	if cmp.WastedPerFailureEnd != 15 {
+		t.Errorf("test-at-end waste = %.1f, want 15", cmp.WastedPerFailureEnd)
+	}
+	// Early detection should roughly halve the waste (uniform failure
+	// position).
+	if cmp.WastedPerFailureInc > 12 {
+		t.Errorf("per-placement waste = %.1f, expected well below 15", cmp.WastedPerFailureInc)
+	}
+}

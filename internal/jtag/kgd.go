@@ -1,0 +1,179 @@
+package jtag
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Pre-bond known-good-die (KGD) testing, paper Section VII.A. The
+// fine-pitch pads (10 um pitch, 7 um wide) cannot be probed — probe
+// cards need >50 um pitch and landing a probe ruins the pad planarity
+// needed for direct metal-metal bonding — so every chiplet carries
+// larger duplicate probe pads for JTAG and auxiliary signals. Chiplets
+// are exhaustively tested through those pads, the probed pads are never
+// bonded, and only known-good dies proceed to assembly.
+
+// ChipletUnderTest is one manufactured chiplet on the test floor.
+type ChipletUnderTest struct {
+	Serial int
+	Tile   *TileChain // its DAP chain, reachable through the probe pads
+	// ManufacturingDefect marks a die that left the fab broken; the
+	// probe test must catch it.
+	ManufacturingDefect bool
+}
+
+// NewChipletUnderTest builds a chiplet with the given core count.
+func NewChipletUnderTest(serial, cores int, defective bool) *ChipletUnderTest {
+	c := &ChipletUnderTest{
+		Serial: serial,
+		Tile:   NewTileChain(cores, uint32(0x4BA00477+serial)),
+	}
+	if defective {
+		c.ManufacturingDefect = true
+		c.Tile.MarkFaulty()
+	}
+	return c
+}
+
+// ProbeTest runs the pre-bond test routine through the probe pads:
+// read and verify every DAP's IDCODE, then load a short test pattern
+// through DPACC and verify the writes committed. It returns nil for a
+// known-good die.
+func ProbeTest(c *ChipletUnderTest) error {
+	ctl := NewController(c.Tile)
+	ctl.Reset()
+	n := len(c.Tile.DAPs)
+	ids, err := ctl.ReadIDCODEs(n)
+	if err != nil {
+		return fmt.Errorf("jtag: chiplet %d: %w", c.Serial, err)
+	}
+	for i, id := range ids {
+		want := c.Tile.DAPs[n-1-i].IDCode // nearest-TDO first
+		if id != want {
+			return fmt.Errorf("jtag: chiplet %d: DAP %d IDCODE %#x, want %#x",
+				c.Serial, n-1-i, id, want)
+		}
+	}
+	// Pattern test into core 0's memory: put the other DAPs in BYPASS
+	// and scan DPACC writes through the chain.
+	pattern := []uint32{0xA5A5A5A5, 0x5A5A5A5A, 0x00FF00FF}
+	ctl.Reset()
+	if err := writeThroughChain(ctl, n, 0, 0x40, pattern); err != nil {
+		return fmt.Errorf("jtag: chiplet %d: %w", c.Serial, err)
+	}
+	for i, want := range pattern {
+		if got := c.Tile.DAPs[0].MemWord(0x40 + uint32(4*i)); got != want {
+			return fmt.Errorf("jtag: chiplet %d: pattern word %d reads %#x, want %#x",
+				c.Serial, i, got, want)
+		}
+	}
+	return nil
+}
+
+// writeThroughChain writes words to one DAP of an n-DAP chain, with the
+// others bypassed. Device 0 is nearest TDI.
+func writeThroughChain(ctl *Controller, n, target int, addr uint32, words []uint32) error {
+	// Shift ordering: the bits shifted in first travel furthest down
+	// the chain and end up in the device nearest TDO (device n-1), so
+	// slot d of the scan vector programs device n-1-d.
+	var ir []bool
+	for d := 0; d < n; d++ {
+		instr := uint32(InstrBYPASS)
+		if n-1-d == target {
+			instr = InstrDPACC
+		}
+		ir = append(ir, Uint32ToBits(uint64(instr), irBits)...)
+	}
+	if _, err := ctl.ShiftIR(ir); err != nil {
+		return err
+	}
+	scan := func(payload uint64) error {
+		// DR: 1 bypass bit per non-target + DPACCBits for the target,
+		// with the same slot-to-device reversal.
+		var dr []bool
+		for d := 0; d < n; d++ {
+			if n-1-d == target {
+				dr = append(dr, Uint32ToBits(payload, DPACCBits)...)
+			} else {
+				dr = append(dr, false)
+			}
+		}
+		_, err := ctl.ShiftDR(dr)
+		return err
+	}
+	if err := scan(dpaccWrite(0b00, addr)); err != nil {
+		return err
+	}
+	for _, w := range words {
+		if err := scan(dpaccWrite(0b01, w)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// KGDResult summarizes a pre-bond screening run.
+type KGDResult struct {
+	Tested       int
+	KnownGood    int
+	Rejected     int
+	FalseAccepts int // defective dies the probe test missed (must be 0)
+	FalseRejects int // good dies the probe test failed (must be 0)
+}
+
+// ScreenChiplets probe-tests a batch and partitions it.
+func ScreenChiplets(batch []*ChipletUnderTest) (KGDResult, []*ChipletUnderTest) {
+	var res KGDResult
+	var good []*ChipletUnderTest
+	for _, c := range batch {
+		res.Tested++
+		err := ProbeTest(c)
+		switch {
+		case err == nil && !c.ManufacturingDefect:
+			res.KnownGood++
+			good = append(good, c)
+		case err != nil && c.ManufacturingDefect:
+			res.Rejected++
+		case err == nil && c.ManufacturingDefect:
+			res.FalseAccepts++
+			good = append(good, c)
+		default:
+			res.FalseRejects++
+		}
+	}
+	return res, good
+}
+
+// AssemblyOutcome compares assembling a wafer with and without pre-bond
+// screening.
+type AssemblyOutcome struct {
+	Sites            int
+	FaultyWithKGD    float64 // expected faulty sites, screened dies
+	FaultyWithoutKGD float64 // expected faulty sites, unscreened dies
+	DieYield         float64 // manufacturing yield assumed
+	BondYield        float64 // per-chiplet bonding yield
+}
+
+// CompareKGD computes the expected faulty assembled sites with and
+// without pre-bond screening, for a wafer with the given number of
+// chiplet sites: without screening a site fails if the die was bad OR
+// the bond failed; with screening only bond failures remain. This is
+// the quantitative case for KGD that motivates Section VII.A.
+func CompareKGD(sites int, dieYield, bondYield float64) AssemblyOutcome {
+	return AssemblyOutcome{
+		Sites:            sites,
+		DieYield:         dieYield,
+		BondYield:        bondYield,
+		FaultyWithKGD:    float64(sites) * (1 - bondYield),
+		FaultyWithoutKGD: float64(sites) * (1 - dieYield*bondYield),
+	}
+}
+
+// RandomBatch manufactures n chiplets with the given die yield.
+func RandomBatch(n, cores int, dieYield float64, rng *rand.Rand) []*ChipletUnderTest {
+	out := make([]*ChipletUnderTest, n)
+	for i := range out {
+		out[i] = NewChipletUnderTest(i, cores, rng.Float64() >= dieYield)
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package jtag
+
+import (
+	"fmt"
+	"time"
+)
+
+// LoadModel is the Section VII load-time model. Loading the wafer's
+// memories goes through DPACC scans: with every tile's target DAP in
+// DPACC and the rest bypassed, one data-register scan down a chain of T
+// tiles delivers one word to every tile at a cost of T*(35+bypass)
+// bits plus a few state-walking cycles. A full word transfer needs
+// several scans (IR/DR alternation between the debug- and access-port
+// registers plus ACK polling, as in the ARM DAP's JTAG protocol).
+//
+// With the prototype's numbers — 1.5 MiB of SRAM per tile, 1024 tiles,
+// 10 MHz TCLK — a single 1024-tile chain takes about 2.5 hours, and
+// splitting the array into 32 row chains with independent TMS/TCLK
+// brings it to roughly five minutes (the paper's headline), because the
+// 32 chains both shorten each scan 32x and run concurrently.
+type LoadModel struct {
+	TCLKHz            float64 // test clock (paper: up to 10 MHz)
+	DRBitsPerDAP      int     // DPACC scan bits per addressed DAP (35)
+	BypassBitsPerTile int     // bypassed DAPs per tile during data load (13)
+	ScansPerWord      int     // DPACC/APACC scans per delivered word
+	ScanOverheadTCK   int     // TAP state-walking cycles per scan
+}
+
+// DefaultLoadModel returns the prototype's calibrated model: five
+// scans per word (address/data phases plus ACK handling across the
+// DP/AP registers) reproduces the paper's single-chain full-wafer load
+// of ~2.5 hours at 10 MHz.
+func DefaultLoadModel() LoadModel {
+	return LoadModel{
+		TCLKHz:            10e6,
+		DRBitsPerDAP:      DPACCBits,
+		BypassBitsPerTile: 13,
+		ScansPerWord:      5,
+		ScanOverheadTCK:   6,
+	}
+}
+
+// Validate checks the model.
+func (m LoadModel) Validate() error {
+	if m.TCLKHz <= 0 || m.DRBitsPerDAP <= 0 || m.ScansPerWord <= 0 || m.ScanOverheadTCK < 0 || m.BypassBitsPerTile < 0 {
+		return fmt.Errorf("jtag: non-physical load model %+v", m)
+	}
+	return nil
+}
+
+// scanBitsPerTile is a tile's contribution to one data scan.
+func (m LoadModel) scanBitsPerTile(broadcast bool) int {
+	if broadcast {
+		// Broadcast mode: the controller sees one DAP per tile and the
+		// bypassed siblings are not in the scan path.
+		return m.DRBitsPerDAP
+	}
+	return m.DRBitsPerDAP + m.BypassBitsPerTile
+}
+
+// ChainTCK returns the TCK cycles for one chain of tilesInChain tiles
+// to absorb wordsPerTile words each.
+func (m LoadModel) ChainTCK(tilesInChain, wordsPerTile int, broadcast bool) int64 {
+	scanLen := int64(tilesInChain*m.scanBitsPerTile(broadcast) + m.ScanOverheadTCK)
+	scans := int64(wordsPerTile) * int64(m.ScansPerWord)
+	return scans * scanLen
+}
+
+// LoadTime returns the wall-clock time to load the whole array when it
+// is split into `chains` equal chains operating in parallel (each with
+// its own TMS/TCLK, as in the prototype's 32 row chains).
+func (m LoadModel) LoadTime(totalTiles, chains, wordsPerTile int, broadcast bool) (time.Duration, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if chains <= 0 || totalTiles <= 0 || totalTiles%chains != 0 {
+		return 0, fmt.Errorf("jtag: %d chains must evenly divide %d tiles", chains, totalTiles)
+	}
+	tck := m.ChainTCK(totalTiles/chains, wordsPerTile, broadcast)
+	sec := float64(tck) / m.TCLKHz
+	return time.Duration(sec * float64(time.Second)), nil
+}
+
+// BroadcastSpeedup returns the scan-latency ratio between loading the
+// same program into every core of a tile with and without broadcast
+// mode: without it the external controller shifts through all 14 DAPs
+// and must repeat the payload once per core; with it the controller
+// sees a single DAP — the paper's 14x reduction.
+func BroadcastSpeedup(coresPerTile int, m LoadModel) float64 {
+	// Without broadcast: same program scanned once per core; each scan
+	// traverses the full 14-DAP tile (one DPACC target + 13 bypass).
+	without := float64(coresPerTile) * float64(m.DRBitsPerDAP+m.BypassBitsPerTile)
+	with := float64(m.DRBitsPerDAP + m.BypassBitsPerTile)
+	return without / with
+}
+
+// Sec7Report bundles the Section VII headline numbers.
+type Sec7Report struct {
+	SingleChain      time.Duration // full-wafer load, one 1024-tile chain
+	MultiChain       time.Duration // full-wafer load, 32 row chains
+	Speedup          float64
+	BroadcastSpeedup float64
+}
+
+// Sec7Headline computes the paper's claims for a system with the given
+// geometry: tiles, chain count, per-tile memory bytes, cores per tile.
+func Sec7Headline(totalTiles, chains, bytesPerTile, coresPerTile int) (Sec7Report, error) {
+	m := DefaultLoadModel()
+	words := bytesPerTile / 4
+	single, err := m.LoadTime(totalTiles, 1, words, false)
+	if err != nil {
+		return Sec7Report{}, err
+	}
+	multi, err := m.LoadTime(totalTiles, chains, words, false)
+	if err != nil {
+		return Sec7Report{}, err
+	}
+	return Sec7Report{
+		SingleChain:      single,
+		MultiChain:       multi,
+		Speedup:          float64(single) / float64(multi),
+		BroadcastSpeedup: BroadcastSpeedup(coresPerTile, m),
+	}, nil
+}

@@ -1,0 +1,162 @@
+package jtag
+
+import "fmt"
+
+// TileMode is the chain routing mode of one tile (paper Fig. 10):
+// every tile can either loop its TDOtile back toward the controller
+// (through the TDIbypass/TDOloop wiring of the upstream tiles) or
+// forward it to the next tile in the chain. On power-up every tile is
+// in loop-back mode, so the controller initially sees only the first
+// tile; chains are then unrolled progressively.
+type TileMode int
+
+// The chain modes.
+const (
+	Loopback TileMode = iota
+	Forward
+)
+
+// String returns the mode name.
+func (m TileMode) String() string {
+	if m == Loopback {
+		return "loopback"
+	}
+	return "forward"
+}
+
+// WaferChain is one row chain of tiles with per-tile chain modes.
+type WaferChain struct {
+	Tiles []*TileChain
+	Modes []TileMode
+}
+
+// NewWaferChain builds a chain of n tiles, each with cores DAPs, all in
+// the power-up loop-back mode.
+func NewWaferChain(n, cores int) *WaferChain {
+	w := &WaferChain{
+		Tiles: make([]*TileChain, n),
+		Modes: make([]TileMode, n),
+	}
+	for i := range w.Tiles {
+		w.Tiles[i] = NewTileChain(cores, uint32(0x4BA00477+i*0x100))
+	}
+	return w
+}
+
+// ActiveTiles returns how many tiles the controller currently sees:
+// everything up to and including the first loop-back tile.
+func (w *WaferChain) ActiveTiles() int {
+	for i, m := range w.Modes {
+		if m == Loopback {
+			return i + 1
+		}
+	}
+	return len(w.Tiles)
+}
+
+// EffectiveDAPs returns the DAP count of the visible chain.
+func (w *WaferChain) EffectiveDAPs() int {
+	n := 0
+	for i := 0; i < w.ActiveTiles(); i++ {
+		n += w.Tiles[i].EffectiveDAPs()
+	}
+	return n
+}
+
+// Tick clocks the chain. TMS and TCK are broadcast to every tile; TDI
+// flows tile to tile until the first loop-back tile, whose TDOtile
+// returns to the controller through the upstream tiles' combinational
+// bypass path. Tiles beyond the loop-back point still see TCK/TMS (so
+// their TAPs stay in lockstep) but receive an idle TDI.
+func (w *WaferChain) Tick(tms, tdi bool) bool {
+	active := w.ActiveTiles()
+	sig := tdi
+	var out bool
+	for i, t := range w.Tiles {
+		if i < active {
+			sig = t.Tick(tms, sig)
+			if i == active-1 {
+				out = sig
+			}
+		} else {
+			t.Tick(tms, false)
+		}
+	}
+	return out
+}
+
+// SetMode switches one tile's chain mode (in hardware this is done
+// through the already-unrolled part of the chain).
+func (w *WaferChain) SetMode(i int, m TileMode) {
+	w.Modes[i] = m
+}
+
+// expectedIDs returns the IDCODE vector the controller should read from
+// the visible chain if every tile is good. ReadIDCODEs returns the
+// device nearest TDO first — the *last* DAP of the deepest tile.
+func (w *WaferChain) expectedIDs() []uint32 {
+	var ids []uint32
+	active := w.ActiveTiles()
+	for i := active - 1; i >= 0; i-- {
+		t := w.Tiles[i]
+		if t.Broadcast {
+			ids = append(ids, t.DAPs[0].IDCode)
+			continue
+		}
+		for j := len(t.DAPs) - 1; j >= 0; j-- {
+			ids = append(ids, t.DAPs[j].IDCode)
+		}
+	}
+	return ids
+}
+
+// UnrollResult reports a progressive-unrolling run.
+type UnrollResult struct {
+	TestedTiles  int     // tiles whose chain segment was verified
+	FaultyTile   int     // index of the first faulty tile, or -1
+	TotalTCK     int64   // controller cycles spent
+	ScansPerTile []int64 // cumulative TCK after each tile's test
+}
+
+// ProgressiveUnroll runs the Fig. 10 procedure: starting from the
+// power-up state (every tile looped back), test the visible chain by
+// reading and checking all IDCODEs; if the newest tile checks out,
+// switch it to forward mode — exposing the next tile — and repeat. The
+// procedure stops at the first tile whose devices misbehave, thereby
+// localizing the faulty chiplet, or after the whole chain verifies.
+// The same flow supports during-assembly testing of partially bonded
+// systems: run it after each placement round.
+func ProgressiveUnroll(w *WaferChain) (UnrollResult, error) {
+	res := UnrollResult{FaultyTile: -1}
+	ctl := NewController(w)
+	for i := range w.Tiles {
+		// Tile i is currently the loop-back end of the visible chain.
+		ctl.Reset()
+		ids, err := ctl.ReadIDCODEs(w.EffectiveDAPs())
+		if err != nil {
+			return res, fmt.Errorf("jtag: unroll at tile %d: %w", i, err)
+		}
+		want := w.expectedIDs()
+		if len(ids) != len(want) {
+			return res, fmt.Errorf("jtag: unroll at tile %d: read %d IDs, want %d", i, len(ids), len(want))
+		}
+		ok := true
+		for j := range ids {
+			if ids[j] != want[j] {
+				ok = false
+				break
+			}
+		}
+		res.TotalTCK = ctl.Cycles
+		res.ScansPerTile = append(res.ScansPerTile, ctl.Cycles)
+		if !ok {
+			res.FaultyTile = i
+			return res, nil
+		}
+		res.TestedTiles++
+		if i+1 < len(w.Tiles) {
+			w.SetMode(i, Forward) // expose the next tile
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,164 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+
+	"waferscale/internal/geom"
+)
+
+func TestChipletFaultMapBasics(t *testing.T) {
+	m := NewChipletFaultMap(geom.NewGrid(4, 4))
+	c := geom.C(1, 1)
+	if !m.RoutesEW(c) || !m.RoutesNS(c) || !m.TileUsable(c) {
+		t.Fatal("fresh tile should be fully functional")
+	}
+	m.MarkMemoryFaulty(c)
+	if !m.RoutesEW(c) {
+		t.Error("dead memory chiplet must not stop east-west routing")
+	}
+	if m.RoutesNS(c) {
+		t.Error("dead memory chiplet must cut the north-south feedthroughs")
+	}
+	if !m.TileUsable(c) {
+		t.Error("cores live on the compute chiplet; tile stays usable")
+	}
+	m.MarkComputeFaulty(c)
+	if m.RoutesEW(c) || m.TileUsable(c) {
+		t.Error("dead compute chiplet kills the tile")
+	}
+	if m.Count() != 2 {
+		t.Errorf("count = %d", m.Count())
+	}
+	m.MarkComputeFaulty(c) // idempotent
+	if m.Count() != 2 {
+		t.Errorf("double mark changed count to %d", m.Count())
+	}
+	// Off-grid coordinates route nothing.
+	if m.RoutesEW(geom.C(-1, 0)) || m.RoutesNS(geom.C(9, 9)) {
+		t.Error("off-grid tiles should not route")
+	}
+}
+
+func TestChipletToTileProjection(t *testing.T) {
+	m := NewChipletFaultMap(geom.NewGrid(4, 4))
+	m.MarkMemoryFaulty(geom.C(0, 0))
+	m.MarkComputeFaulty(geom.C(2, 2))
+	fm := m.ToTileMap()
+	if !fm.Faulty(geom.C(0, 0)) || !fm.Faulty(geom.C(2, 2)) {
+		t.Error("projection missed a fault")
+	}
+	if fm.Count() != 2 {
+		t.Errorf("tile projection count = %d", fm.Count())
+	}
+}
+
+func TestRandomChipletsExactCount(t *testing.T) {
+	g := geom.NewGrid(8, 8)
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 5, 40, 128} {
+		m := RandomChiplets(g, n, rng)
+		if m.Count() != n {
+			t.Errorf("RandomChiplets(%d) placed %d", n, m.Count())
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("overfill should panic")
+		}
+	}()
+	RandomChiplets(g, 1000, rng)
+}
+
+// TestMemoryFaultOnlyCutsVertical: with one dead memory chiplet, pairs
+// routing east-west through that tile still connect; pairs needing the
+// vertical feedthrough do not (on that path).
+func TestMemoryFaultOnlyCutsVertical(t *testing.T) {
+	m := NewChipletFaultMap(geom.NewGrid(8, 8))
+	m.MarkMemoryFaulty(geom.C(4, 4))
+	a := NewChipletAnalyzer(m)
+	// East-west through (4,4): clear.
+	if !a.PathClear(XY, geom.C(0, 4), geom.C(7, 4)) {
+		t.Error("EW path through a dead memory chiplet should be clear")
+	}
+	// Vertical through (4,4): blocked on the XY route (turn column 4).
+	if a.PathClear(XY, geom.C(4, 0), geom.C(4, 7)) {
+		t.Error("NS path through dead feedthroughs should be blocked")
+	}
+	// But the pair is still dual-usable? Same column: both DoR paths
+	// coincide -> disconnected on both.
+	if a.PairUsableDual(geom.C(4, 0), geom.C(4, 7)) {
+		t.Error("same-column pair through the dead feedthrough should be cut")
+	}
+	// An off-column pair can dodge it via the other network.
+	if !a.PairUsableDual(geom.C(3, 0), geom.C(4, 7)) {
+		t.Error("off-column pair should route around via Y-X")
+	}
+}
+
+// TestChipletAnalyzerEndpointEjection: a packet may eject at a tile
+// whose memory chiplet is dead (the router does the ejection).
+func TestChipletAnalyzerEndpointEjection(t *testing.T) {
+	m := NewChipletFaultMap(geom.NewGrid(8, 8))
+	dst := geom.C(3, 5)
+	m.MarkMemoryFaulty(dst)
+	a := NewChipletAnalyzer(m)
+	if !a.PathClear(XY, geom.C(3, 0), dst) {
+		t.Error("vertical arrival should only need the destination's router")
+	}
+	// Beyond it is blocked.
+	if a.PathClear(XY, geom.C(3, 0), geom.C(3, 7)) {
+		t.Error("continuing past the dead feedthrough should be blocked")
+	}
+}
+
+// TestChipletModelMatchesTileModelForComputeFaults: when only compute
+// chiplets fail, the chiplet-level analyzer agrees exactly with the
+// conservative tile-level one.
+func TestChipletModelMatchesTileModelForComputeFaults(t *testing.T) {
+	g := geom.NewGrid(12, 12)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		cm := NewChipletFaultMap(g)
+		for i := 0; i < 8; i++ {
+			cm.MarkComputeFaulty(g.Coord(rng.Intn(g.Size())))
+		}
+		ca := NewChipletAnalyzer(cm)
+		ta := NewAnalyzer(cm.ToTileMap())
+		cs := ca.AllPairs()
+		ts := ta.AllPairs()
+		if cs != ts {
+			t.Fatalf("trial %d: chiplet stats %+v != tile stats %+v", trial, cs, ts)
+		}
+	}
+}
+
+// TestFig6ChipletGranularityRefinement: for the same number of faulty
+// chiplets, the chiplet-level model (memory faults only cut vertical
+// links) disconnects no more — and usually fewer — pairs than the
+// conservative whole-tile projection. This bounds the pessimism of the
+// tile-level Fig. 6 reproduction.
+func TestFig6ChipletGranularityRefinement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-array pair scans")
+	}
+	g := geom.NewGrid(32, 32)
+	var chipletPct, tilePct float64
+	const trials = 6
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 31))
+		cm := RandomChiplets(g, 5, rng)
+		cs := NewChipletAnalyzer(cm).AllPairs()
+		ts := NewAnalyzer(cm.ToTileMap()).AllPairs()
+		if cs.DisconnectedSingle > ts.DisconnectedSingle {
+			t.Errorf("trial %d: chiplet model (%d) worse than tile model (%d)",
+				trial, cs.DisconnectedSingle, ts.DisconnectedSingle)
+		}
+		chipletPct += cs.PctSingle()
+		tilePct += ts.PctSingle()
+	}
+	if chipletPct >= tilePct {
+		t.Errorf("refined model should reduce mean disconnection: %.2f%% vs %.2f%%",
+			chipletPct/trials, tilePct/trials)
+	}
+}

@@ -1,0 +1,60 @@
+package noc
+
+import (
+	"testing"
+
+	"waferscale/internal/fault"
+	"waferscale/internal/geom"
+)
+
+// TestClusteredFaultsAblation: the paper's Fig. 6 draws faults
+// uniformly; real defects cluster. Clusters concentrate damage into
+// fewer rows and columns, so at the same fault count the single-network
+// disconnection rate drops relative to uniform placement — while the
+// clustered map is likelier to wall off individual tiles entirely.
+func TestClusteredFaultsAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo ablation")
+	}
+	grid := geom.NewGrid(32, 32)
+	const faults = 12
+	const trials = 10
+
+	uniformMC := fault.MonteCarlo{Grid: grid, Trials: trials, Seed: 77}
+	clusterMC := fault.ClusteredMonteCarlo{
+		Grid: grid, Cluster: fault.DefaultClusters(), Trials: trials, Seed: 77,
+	}
+	single := func(m *fault.Map) float64 { return NewAnalyzer(m).AllPairs().PctSingle() }
+
+	uni := fault.Collect(uniformMC.Samples(faults, single))
+	clu := fault.Collect(clusterMC.Samples(faults, single))
+	if clu.Mean >= uni.Mean {
+		t.Errorf("clustered single-net disconnection %.2f%% should be below uniform %.2f%%",
+			clu.Mean, uni.Mean)
+	}
+
+	// Dual-network residuals stay small either way — the scheme is
+	// robust to the fault distribution, not just its count.
+	dual := func(m *fault.Map) float64 { return NewAnalyzer(m).AllPairs().PctDual() }
+	cluDual := fault.Collect(clusterMC.Samples(faults, dual))
+	if cluDual.Mean > 5 {
+		t.Errorf("clustered dual-net disconnection %.2f%% unexpectedly large", cluDual.Mean)
+	}
+}
+
+// TestClusteredIsolationRisk: clusters are better at boxing in healthy
+// tiles (the Fig. 4 "tile 2" failure mode) than scattered faults.
+func TestClusteredIsolationRisk(t *testing.T) {
+	grid := geom.NewGrid(32, 32)
+	const faults = 40
+	const trials = 40
+	iso := func(m *fault.Map) float64 { return float64(len(m.Isolated())) }
+	uni := fault.Collect(fault.MonteCarlo{Grid: grid, Trials: trials, Seed: 3}.Samples(faults, iso))
+	clu := fault.Collect(fault.ClusteredMonteCarlo{
+		Grid: grid, Cluster: fault.ClusterConfig{MeanClusterSize: 5, Radius: 1},
+		Trials: trials, Seed: 3,
+	}.Samples(faults, iso))
+	if clu.Mean < uni.Mean {
+		t.Errorf("clustered isolation %.3f should be >= uniform %.3f", clu.Mean, uni.Mean)
+	}
+}

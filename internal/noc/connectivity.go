@@ -1,0 +1,205 @@
+package noc
+
+import (
+	"waferscale/internal/fault"
+	"waferscale/internal/geom"
+)
+
+// Analyzer answers path-clear queries against one fault map in O(1)
+// per query using fault-count prefix sums along every row and column.
+// A DoR route is a row segment followed by a column segment (or vice
+// versa), so "any faulty tile on the route?" reduces to two range-sum
+// lookups. This is what makes the Fig. 6 Monte Carlo over ~10^6 pairs
+// per fault map tractable.
+type Analyzer struct {
+	grid geom.Grid
+	fm   *fault.Map
+	// rowPrefix[y][x] = number of faulty tiles in row y, columns 0..x-1.
+	rowPrefix [][]int
+	// colPrefix[x][y] = number of faulty tiles in column x, rows 0..y-1.
+	colPrefix [][]int
+}
+
+// NewAnalyzer builds the prefix sums for a fault map. The analyzer
+// snapshots the map: later map mutations are not reflected.
+func NewAnalyzer(fm *fault.Map) *Analyzer {
+	g := fm.Grid()
+	a := &Analyzer{
+		grid:      g,
+		fm:        fm,
+		rowPrefix: make([][]int, g.H),
+		colPrefix: make([][]int, g.W),
+	}
+	for y := 0; y < g.H; y++ {
+		a.rowPrefix[y] = make([]int, g.W+1)
+		for x := 0; x < g.W; x++ {
+			v := 0
+			if fm.Faulty(geom.C(x, y)) {
+				v = 1
+			}
+			a.rowPrefix[y][x+1] = a.rowPrefix[y][x] + v
+		}
+	}
+	for x := 0; x < g.W; x++ {
+		a.colPrefix[x] = make([]int, g.H+1)
+		for y := 0; y < g.H; y++ {
+			v := 0
+			if fm.Faulty(geom.C(x, y)) {
+				v = 1
+			}
+			a.colPrefix[x][y+1] = a.colPrefix[x][y] + v
+		}
+	}
+	return a
+}
+
+// Grid returns the analyzed array shape.
+func (a *Analyzer) Grid() geom.Grid { return a.grid }
+
+// rowFaults returns the number of faulty tiles in row y between columns
+// x0 and x1 inclusive (any order).
+func (a *Analyzer) rowFaults(y, x0, x1 int) int {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	return a.rowPrefix[y][x1+1] - a.rowPrefix[y][x0]
+}
+
+// colFaults returns the number of faulty tiles in column x between rows
+// y0 and y1 inclusive (any order).
+func (a *Analyzer) colFaults(x, y0, y1 int) int {
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return a.colPrefix[x][y1+1] - a.colPrefix[x][y0]
+}
+
+// PathClear reports whether the DoR route from src to dst on the given
+// network passes only healthy tiles (endpoints included).
+func (a *Analyzer) PathClear(net Network, src, dst geom.Coord) bool {
+	if net == XY {
+		// Row src.Y from src.X to dst.X, then column dst.X from src.Y
+		// to dst.Y. The turn tile (dst.X, src.Y) is covered by both
+		// ranges; double counting does not change emptiness.
+		return a.rowFaults(src.Y, src.X, dst.X) == 0 &&
+			a.colFaults(dst.X, src.Y, dst.Y) == 0
+	}
+	return a.colFaults(src.X, src.Y, dst.Y) == 0 &&
+		a.rowFaults(dst.Y, src.X, dst.X) == 0
+}
+
+// PairConnected reports whether src can reach dst using the available
+// networks: with a single network only its own DoR path counts; with
+// both, either path suffices.
+func (a *Analyzer) PairConnected(src, dst geom.Coord, dual bool) bool {
+	if a.PathClear(XY, src, dst) {
+		return true
+	}
+	return dual && a.PathClear(YX, src, dst)
+}
+
+// PairUsableSingle reports whether two-way communication between a and
+// b works on a single X-Y network: the request path a->b and the
+// response path b->a (a different set of tiles!) must both be clear.
+// This is the "conventional scheme with one DoR network" of Fig. 6.
+func (a *Analyzer) PairUsableSingle(s, d geom.Coord) bool {
+	return a.PathClear(XY, s, d) && a.PathClear(XY, d, s)
+}
+
+// PairUsableDual reports whether two-way communication works with both
+// networks: a request sent X-Y is answered Y-X over the *same* tiles
+// (and vice versa), so the pair works iff either physical path is clear
+// — the paper's "two-way communication is possible whenever one
+// non-faulty path exists".
+func (a *Analyzer) PairUsableDual(s, d geom.Coord) bool {
+	return a.PathClear(XY, s, d) || a.PathClear(YX, s, d)
+}
+
+// PairStats aggregates two-way connectivity over all unordered pairs of
+// distinct healthy tiles.
+type PairStats struct {
+	HealthyTiles       int
+	Pairs              int // unordered pairs of distinct healthy tiles
+	DisconnectedSingle int // pairs unusable on a single X-Y network
+	DisconnectedDual   int // pairs unusable even with both networks
+	// DualSameRowCol counts dual-disconnected pairs that share a row or
+	// column — the paper notes the residual disconnections are "mostly"
+	// these single-path pairs.
+	DualSameRowCol int
+}
+
+// PctSingle returns the percentage of pairs disconnected with one
+// network.
+func (s PairStats) PctSingle() float64 {
+	if s.Pairs == 0 {
+		return 0
+	}
+	return 100 * float64(s.DisconnectedSingle) / float64(s.Pairs)
+}
+
+// PctDual returns the percentage of pairs disconnected with both
+// networks available.
+func (s PairStats) PctDual() float64 {
+	if s.Pairs == 0 {
+		return 0
+	}
+	return 100 * float64(s.DisconnectedDual) / float64(s.Pairs)
+}
+
+// AllPairs scans every unordered pair of distinct healthy tiles and
+// aggregates two-way connectivity — one Fig. 6 sample. Dual-network
+// disconnection implies single-network disconnection (if both physical
+// paths are blocked, the single network's request path is too), so the
+// dual curve always sits at or below the single curve.
+func (a *Analyzer) AllPairs() PairStats {
+	healthy := a.fm.HealthyCoords()
+	st := PairStats{HealthyTiles: len(healthy)}
+	for i, s := range healthy {
+		for _, d := range healthy[i+1:] {
+			st.Pairs++
+			if !a.PairUsableSingle(s, d) {
+				st.DisconnectedSingle++
+			}
+			if !a.PairUsableDual(s, d) {
+				st.DisconnectedDual++
+				if SameRowOrColumn(s, d) {
+					st.DualSameRowCol++
+				}
+			}
+		}
+	}
+	return st
+}
+
+// Fig6Point is one point of the paper's Fig. 6 curves.
+type Fig6Point struct {
+	Faults    int
+	PctSingle fault.Stats // % disconnected pairs, one DoR network
+	PctDual   fault.Stats // % disconnected pairs, two DoR networks
+}
+
+// Fig6Sweep runs the paper's Monte Carlo: for each fault count, average
+// the percentage of disconnected source-destination pairs over randomly
+// generated fault maps, for the conventional single-network scheme and
+// the dual-network scheme.
+func Fig6Sweep(grid geom.Grid, faultCounts []int, trials int, seed int64) []Fig6Point {
+	mc := fault.MonteCarlo{Grid: grid, Trials: trials, Seed: seed}
+	out := make([]Fig6Point, len(faultCounts))
+	for i, n := range faultCounts {
+		// One pass over each map computes both curves, so the single-
+		// and dual-network samples are paired per fault map.
+		single := make([]float64, trials)
+		dual := make([]float64, trials)
+		mc.ForEachMap(n, func(trial int, m *fault.Map) {
+			st := NewAnalyzer(m).AllPairs()
+			single[trial] = st.PctSingle()
+			dual[trial] = st.PctDual()
+		})
+		out[i] = Fig6Point{
+			Faults:    n,
+			PctSingle: fault.Collect(single),
+			PctDual:   fault.Collect(dual),
+		}
+	}
+	return out
+}

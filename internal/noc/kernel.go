@@ -1,0 +1,234 @@
+package noc
+
+import (
+	"fmt"
+
+	"waferscale/internal/fault"
+	"waferscale/internal/geom"
+)
+
+// Kernel models the system-software side of the network (paper Section
+// VI): after assembly the faulty tiles are identified and stored in a
+// fault map; the kernel then decides, per source-destination pair,
+// which network carries the requests (responses use the complement),
+// balances pairs across the two networks when both paths are clear,
+// and — for the residual disconnected pairs — relays packets through
+// one or more intermediate tiles.
+//
+// Packet ordering: all communication between one source-destination
+// pair is pinned to a single network (and relay chain), so packets of
+// a pair never race each other (the paper's in-order guarantee).
+type Kernel struct {
+	an *Analyzer
+	// balance alternates assignments when both networks are usable so
+	// the two are equally utilized.
+	balance int
+	// assigned memoizes pair decisions so a pair keeps its network for
+	// the lifetime of the fault map (packet consistency).
+	assigned map[[2]geom.Coord]Decision
+}
+
+// Decision is the kernel's routing decision for a pair.
+type Decision struct {
+	// Reachable is false when no route exists at all (the endpoints lie
+	// in different 4-connected components of the healthy array).
+	Reachable bool
+	// Request is the network carrying the first leg of requests;
+	// responses retrace the legs on complementary networks.
+	Request Network
+	// Via lists relay tiles for multi-leg (detour) routing, in order;
+	// empty for direct routes. Relay cores must spend cycles forwarding
+	// (paper: acceptable because dual networks already fix most pairs,
+	// and most remaining detours need a single relay).
+	Via []geom.Coord
+}
+
+// NewKernel builds the routing policy for a fault map.
+func NewKernel(fm *fault.Map) *Kernel {
+	return &Kernel{
+		an:       NewAnalyzer(fm),
+		assigned: make(map[[2]geom.Coord]Decision),
+	}
+}
+
+// Analyzer exposes the underlying path oracle.
+func (k *Kernel) Analyzer() *Analyzer { return k.an }
+
+// Decide returns (and memoizes) the routing decision for src -> dst.
+func (k *Kernel) Decide(src, dst geom.Coord) (Decision, error) {
+	if err := validatePair(k.an.grid, src, dst); err != nil {
+		return Decision{}, err
+	}
+	if k.an.fm.Faulty(src) || k.an.fm.Faulty(dst) {
+		return Decision{}, fmt.Errorf("noc: endpoint of %v->%v is faulty", src, dst)
+	}
+	key := [2]geom.Coord{src, dst}
+	if d, ok := k.assigned[key]; ok {
+		return d, nil
+	}
+	d := k.decide(src, dst)
+	k.assigned[key] = d
+	return d, nil
+}
+
+func (k *Kernel) decide(src, dst geom.Coord) Decision {
+	xy := k.an.PathClear(XY, src, dst)
+	yx := k.an.PathClear(YX, src, dst)
+	switch {
+	case xy && yx:
+		// Both usable: alternate to keep the networks equally utilized.
+		k.balance++
+		return Decision{Reachable: true, Request: Network(k.balance % 2)}
+	case xy:
+		return Decision{Reachable: true, Request: XY}
+	case yx:
+		return Decision{Reachable: true, Request: YX}
+	}
+	// Both direct paths blocked: find the shortest relay chain. A
+	// single intermediate tile (the paper's workaround) covers the
+	// common case; heavily damaged neighborhoods may need more relays.
+	if chain, ok := k.findRelayChain(src, dst); ok {
+		net := XY
+		if !k.an.PathClear(XY, src, chain[0]) {
+			net = YX
+		}
+		return Decision{Reachable: true, Request: net, Via: chain}
+	}
+	return Decision{}
+}
+
+// findRelayChain searches breadth-first for the fewest-leg relay chain:
+// graph nodes are healthy tiles, with an edge u-v whenever some DoR
+// network has a clear path u->v. Adjacent healthy tiles always have a
+// clear (single-hop) path, so reachability in this graph equals
+// 4-connected-component membership — the kernel can always route
+// within a component.
+func (k *Kernel) findRelayChain(src, dst geom.Coord) ([]geom.Coord, bool) {
+	g := k.an.grid
+	prev := make([]int, g.Size())
+	for i := range prev {
+		prev[i] = -1
+	}
+	srcIdx := g.Index(src)
+	prev[srcIdx] = srcIdx
+	healthy := k.an.fm.HealthyCoords()
+	queue := []geom.Coord{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == dst {
+			// Walk back, collecting intermediate relays (exclude the
+			// endpoints).
+			var rev []geom.Coord
+			at := g.Index(dst)
+			for at != srcIdx {
+				at = prev[at]
+				if at != srcIdx {
+					rev = append(rev, g.Coord(at))
+				}
+			}
+			chain := make([]geom.Coord, len(rev))
+			for i := range rev {
+				chain[i] = rev[len(rev)-1-i]
+			}
+			return chain, len(chain) > 0
+		}
+		for _, next := range healthy {
+			i := g.Index(next)
+			if prev[i] >= 0 || next == cur {
+				continue
+			}
+			if k.an.PairConnected(cur, next, true) {
+				prev[i] = g.Index(cur)
+				queue = append(queue, next)
+			}
+		}
+	}
+	return nil, false
+}
+
+// Legs returns the consecutive (from, to, network) segments of a
+// decision: requests traverse them in order; responses retrace them in
+// reverse on complementary networks.
+type Leg struct {
+	From, To geom.Coord
+	Net      Network
+}
+
+// Legs expands a decision into its request legs.
+func (k *Kernel) Legs(src, dst geom.Coord, d Decision) []Leg {
+	if !d.Reachable {
+		return nil
+	}
+	stops := make([]geom.Coord, 0, len(d.Via)+2)
+	stops = append(stops, src)
+	stops = append(stops, d.Via...)
+	stops = append(stops, dst)
+	legs := make([]Leg, 0, len(stops)-1)
+	for i := 0; i+1 < len(stops); i++ {
+		net := XY
+		if !k.an.PathClear(XY, stops[i], stops[i+1]) {
+			net = YX
+		} else if i == 0 && d.Request == YX && k.an.PathClear(YX, stops[0], stops[1]) {
+			net = YX
+		}
+		legs = append(legs, Leg{From: stops[i], To: stops[i+1], Net: net})
+	}
+	return legs
+}
+
+// RequestPath returns the tiles a request visits under a decision, one
+// slice per leg.
+func (k *Kernel) RequestPath(src, dst geom.Coord, d Decision) [][]geom.Coord {
+	legs := k.Legs(src, dst, d)
+	out := make([][]geom.Coord, len(legs))
+	for i, l := range legs {
+		out[i] = Route(l.Net, l.From, l.To)
+	}
+	return out
+}
+
+// Utilization reports how many pairs the kernel has pinned to each
+// network (requests only).
+func (k *Kernel) Utilization() (xy, yx, detoured, unreachable int) {
+	for _, d := range k.assigned {
+		switch {
+		case !d.Reachable:
+			unreachable++
+		case len(d.Via) > 0:
+			detoured++
+		case d.Request == XY:
+			xy++
+		default:
+			yx++
+		}
+	}
+	return
+}
+
+// PlanAll decides every ordered pair of healthy tiles and returns
+// summary counts; used to quantify the detour ablation (how many of
+// the dual-network residual disconnections relays repair).
+func (k *Kernel) PlanAll() (reachableDirect, reachableViaDetour, unreachable int) {
+	healthy := k.an.fm.HealthyCoords()
+	for _, s := range healthy {
+		for _, d := range healthy {
+			if s == d {
+				continue
+			}
+			dec, err := k.Decide(s, d)
+			if err != nil {
+				continue
+			}
+			switch {
+			case !dec.Reachable:
+				unreachable++
+			case len(dec.Via) > 0:
+				reachableViaDetour++
+			default:
+				reachableDirect++
+			}
+		}
+	}
+	return
+}

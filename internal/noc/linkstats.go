@@ -1,0 +1,104 @@
+package noc
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"waferscale/internal/geom"
+)
+
+// Per-link utilization: which inter-chiplet links the traffic actually
+// crossed. The paper provisions four 100-bit buses per tile edge; this
+// view shows where that capacity is stressed (e.g. the diagonal
+// hotspot dimension-ordered routing creates under transpose traffic)
+// and what adaptive routing buys.
+
+// LinkStat is one directed inter-tile link's traversal count.
+type LinkStat struct {
+	Net        Network
+	From       geom.Coord
+	Dir        geom.Dir
+	Traversals int64
+}
+
+// LinkUse returns the traversal count of one directed link.
+func (s *Sim) LinkUse(net Network, from geom.Coord, d geom.Dir) int64 {
+	return s.linkUse[net][s.grid.Index(from)*geom.NumDirs+int(d)]
+}
+
+// LinkStats returns all links with nonzero traffic, busiest first.
+func (s *Sim) LinkStats() []LinkStat {
+	var out []LinkStat
+	for n := range s.linkUse {
+		for i, v := range s.linkUse[n] {
+			if v == 0 {
+				continue
+			}
+			out = append(out, LinkStat{
+				Net:        Network(n),
+				From:       s.grid.Coord(i / geom.NumDirs),
+				Dir:        geom.Dir(i % geom.NumDirs),
+				Traversals: v,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Traversals > out[j].Traversals })
+	return out
+}
+
+// LinkSkew summarizes load balance: max and mean traversals over links
+// that carried traffic. A skew (max/mean) near 1 is perfectly balanced.
+func (s *Sim) LinkSkew() (max int64, mean float64) {
+	var sum int64
+	n := 0
+	for net := range s.linkUse {
+		for _, v := range s.linkUse[net] {
+			if v == 0 {
+				continue
+			}
+			n++
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if n > 0 {
+		mean = float64(sum) / float64(n)
+	}
+	return max, mean
+}
+
+// WriteHeatmap renders per-tile total link load for one network as a
+// character map (space = idle, digits scale with load, '#' = hottest).
+func (s *Sim) WriteHeatmap(w io.Writer, net Network) {
+	g := s.grid
+	load := make([]int64, g.Size())
+	var max int64
+	g.All(func(c geom.Coord) {
+		var sum int64
+		for d := 0; d < geom.NumDirs; d++ {
+			sum += s.linkUse[net][g.Index(c)*geom.NumDirs+d]
+		}
+		load[g.Index(c)] = sum
+		if sum > max {
+			max = sum
+		}
+	})
+	fmt.Fprintf(w, "link load, %v network (max %d traversals/tile):\n", net, max)
+	for y := g.H - 1; y >= 0; y-- {
+		for x := 0; x < g.W; x++ {
+			v := load[g.Index(geom.C(x, y))]
+			switch {
+			case v == 0:
+				fmt.Fprint(w, ".")
+			case v == max:
+				fmt.Fprint(w, "#")
+			default:
+				fmt.Fprintf(w, "%d", v*9/max)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,98 @@
+package noc
+
+import "waferscale/internal/geom"
+
+// RoutingPolicy decides which output ports a packet at cur may take,
+// in preference order. The full packet is supplied because turn-model
+// algorithms need the source column; arrivalPort is the input port the
+// packet sits in (portLocal for freshly injected packets).
+type RoutingPolicy interface {
+	Candidates(net Network, p Packet, cur geom.Coord, arrivalPort int) []int
+}
+
+// DoRPolicy is the prototype's strict dimension-ordered routing: one
+// legal output per packet per network (X-then-Y or Y-then-X).
+type DoRPolicy struct{}
+
+// Candidates returns the single DoR port.
+func (DoRPolicy) Candidates(net Network, p Packet, cur geom.Coord, _ int) []int {
+	d, ok := NextHop(net, cur, p.Dst)
+	if !ok {
+		return []int{portLocal}
+	}
+	return []int{int(d)}
+}
+
+// OddEvenPolicy is the future-work adaptive scheme (Wu/Chiu odd-even
+// turn model, paper footnote 4) run at packet level: minimal adaptive
+// routing restricted by the odd-even turn rules — EN/ES turns banned
+// in even columns, NW/SW turns banned in odd columns — which is
+// deadlock-free without virtual channels. Both physical networks run
+// the same algorithm (the request/response split still prevents
+// protocol deadlock).
+//
+// Candidates implements Chiu's ROUTE function, which guarantees a
+// non-empty legal minimal set at every hop:
+//
+//   - same column (e0 = 0): continue vertically;
+//   - eastbound: a vertical move is offered only in odd columns or at
+//     the source (no turn happens at injection); the east move is
+//     withheld when one hop from an even destination column, forcing
+//     the mandatory turn to happen in the preceding odd column;
+//   - westbound: west is always offered; vertical moves only in even
+//     columns so the later N->W / S->W turn is legal.
+type OddEvenPolicy struct{}
+
+// Candidates returns the legal minimal output ports. When two
+// dimensions are productive, the one with more remaining hops is
+// preferred (dimension balancing); the switch allocator takes whichever
+// candidate has credit.
+func (OddEvenPolicy) Candidates(_ Network, p Packet, cur geom.Coord, _ int) []int {
+	dst, src := p.Dst, p.Src
+	e0 := dst.X - cur.X
+	e1 := dst.Y - cur.Y
+	if e0 == 0 && e1 == 0 {
+		return []int{portLocal}
+	}
+	vertical := portN
+	if e1 < 0 {
+		vertical = portS
+	}
+	var out []int
+	switch {
+	case e0 == 0:
+		out = append(out, vertical)
+	case e0 > 0: // eastbound
+		if e1 == 0 {
+			out = append(out, portE)
+		} else {
+			if cur.X%2 == 1 || cur.X == src.X {
+				out = append(out, vertical)
+			}
+			if dst.X%2 == 1 || e0 != 1 {
+				out = append(out, portE)
+			}
+		}
+	default: // westbound
+		out = append(out, portW)
+		if e1 != 0 && cur.X%2 == 0 {
+			out = append(out, vertical)
+		}
+	}
+	// Dimension balancing: put the longer dimension first.
+	if len(out) == 2 {
+		dx, dy := abs(e0), abs(e1)
+		firstVertical := out[0] == portN || out[0] == portS
+		if (dx > dy) == firstVertical {
+			out[0], out[1] = out[1], out[0]
+		}
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,327 @@
+package noc
+
+import (
+	"fmt"
+
+	"waferscale/internal/fault"
+	"waferscale/internal/geom"
+)
+
+// Port indices inside a router: the four mesh directions plus the
+// local inject/eject port.
+const (
+	portN = iota
+	portE
+	portS
+	portW
+	portLocal
+	numPorts
+)
+
+// inFlight is a packet crossing an inter-chiplet link.
+type inFlight struct {
+	pkt     Packet
+	arrive  int64 // cycle it lands in the downstream FIFO
+	dstTile geom.Coord
+	dstPort int
+}
+
+// router is one tile's switch on one physical network: input-buffered,
+// dimension-ordered, round-robin arbitration per output port, credit
+// (space-) checked forwarding.
+type router struct {
+	at   geom.Coord
+	in   [numPorts][]Packet // input FIFOs (index 0 is the head)
+	rrAt [numPorts]int      // round-robin pointer per output port
+}
+
+// meshNet is one of the two physical networks.
+type meshNet struct {
+	net     Network
+	routers []*router
+	flights []inFlight
+}
+
+// Sim is the cycle-level simulator of the dual-network waferscale NoC.
+type Sim struct {
+	grid geom.Grid
+	fm   *fault.Map
+	cfg  SimConfig
+	nets [2]*meshNet
+
+	// Policy selects output ports; defaults to strict dimension-ordered
+	// routing. Set to OddEvenPolicy before injecting to run the
+	// future-work adaptive scheme (paper footnote 4).
+	Policy RoutingPolicy
+
+	cycle   int64
+	nextID  uint64
+	stats   SimStats
+	linkUse [2][]int64 // per network: traversals of (tile, direction) links
+
+	// OnDeliver, when set, observes every delivered packet (after stats
+	// are updated). Used by the functional simulator to implement the
+	// remote-memory protocol.
+	OnDeliver func(Packet)
+
+	delivered []Packet // retained when RetainDelivered is true
+	// RetainDelivered keeps every delivered packet for inspection.
+	RetainDelivered bool
+}
+
+// NewSim builds a simulator over a fault map. Routers are instantiated
+// only on healthy tiles; a packet forwarded into a faulty tile is
+// dropped and counted (the kernel must prevent this by construction).
+func NewSim(fm *fault.Map, cfg SimConfig) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := fm.Grid()
+	s := &Sim{grid: g, fm: fm, cfg: cfg, Policy: DoRPolicy{}}
+	for n := range s.linkUse {
+		s.linkUse[n] = make([]int64, g.Size()*geom.NumDirs)
+	}
+	for n := range s.nets {
+		mn := &meshNet{net: Network(n), routers: make([]*router, g.Size())}
+		g.All(func(c geom.Coord) {
+			if fm.Healthy(c) {
+				mn.routers[g.Index(c)] = &router{at: c}
+			}
+		})
+		s.nets[n] = mn
+	}
+	return s, nil
+}
+
+// Cycle returns the current simulation cycle.
+func (s *Sim) Cycle() int64 { return s.cycle }
+
+// Stats returns a copy of the running statistics.
+func (s *Sim) Stats() SimStats { return s.stats }
+
+// Delivered returns retained packets (RetainDelivered must be set).
+func (s *Sim) Delivered() []Packet { return s.delivered }
+
+// Inject queues a packet at its source tile's local port on the given
+// network. It fails if the source is faulty or the local FIFO is full
+// (caller retries next cycle — modelling injection backpressure).
+func (s *Sim) Inject(net Network, src, dst geom.Coord, kind Kind, tag uint32, payload uint64) (uint64, error) {
+	if err := validatePair(s.grid, src, dst); err != nil {
+		return 0, err
+	}
+	if s.fm.Faulty(src) {
+		return 0, fmt.Errorf("noc: cannot inject from faulty tile %v", src)
+	}
+	r := s.nets[net].routers[s.grid.Index(src)]
+	if len(r.in[portLocal]) >= s.cfg.FIFODepth {
+		return 0, ErrBackpressure
+	}
+	s.nextID++
+	p := Packet{
+		ID: s.nextID, Kind: kind, Net: net, Src: src, Dst: dst,
+		Tag: tag, Payload: payload, InjectedAt: s.cycle,
+	}
+	r.in[portLocal] = append(r.in[portLocal], p)
+	s.stats.Injected++
+	return p.ID, nil
+}
+
+// ErrBackpressure reports a full injection FIFO.
+var ErrBackpressure = fmt.Errorf("noc: injection FIFO full")
+
+// Step advances the simulation one cycle.
+func (s *Sim) Step() {
+	s.cycle++
+	for _, mn := range s.nets {
+		s.stepNet(mn)
+	}
+}
+
+// StepN advances n cycles.
+func (s *Sim) StepN(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+func (s *Sim) stepNet(mn *meshNet) {
+	g := s.grid
+	// Land in-flight packets whose link delay elapsed.
+	remaining := mn.flights[:0]
+	for _, f := range mn.flights {
+		if f.arrive > s.cycle {
+			remaining = append(remaining, f)
+			continue
+		}
+		r := mn.routers[g.Index(f.dstTile)]
+		if r == nil {
+			// Link into a faulty tile: the packet is lost. The kernel's
+			// fault-map routing must make this unreachable.
+			s.stats.Dropped++
+			continue
+		}
+		r.in[f.dstPort] = append(r.in[f.dstPort], f.pkt)
+	}
+	mn.flights = remaining
+
+	// Switch allocation: per router, per output port, grant one input
+	// whose head packet requests that port, round-robin over inputs.
+	// Space accounting reserves downstream slots before movement so a
+	// FIFO never overfills within a cycle.
+	type grant struct {
+		r       *router
+		inPort  int
+		outPort int
+	}
+	var grants []grant
+	reserved := map[[2]int]int{} // (net-local router index, port) -> reserved slots
+	spaceFor := func(tile geom.Coord, port int) bool {
+		r := mn.routers[g.Index(tile)]
+		if r == nil {
+			// Faulty destination: allow the move; the packet drops on
+			// arrival (hardware would see an unresponsive link).
+			return true
+		}
+		key := [2]int{g.Index(tile), port}
+		inQueue := len(r.in[port])
+		inAir := 0
+		for _, f := range mn.flights {
+			if f.dstTile == tile && f.dstPort == port {
+				inAir++
+			}
+		}
+		return inQueue+inAir+reserved[key] < s.cfg.FIFODepth
+	}
+	for _, r := range mn.routers {
+		if r == nil {
+			continue
+		}
+		var taken [numPorts]bool // inputs already granted this cycle
+		for out := 0; out < numPorts; out++ {
+			// Round-robin: start after the last granted input.
+			for k := 1; k <= numPorts; k++ {
+				inPort := (r.rrAt[out] + k) % numPorts
+				if taken[inPort] {
+					continue
+				}
+				q := r.in[inPort]
+				if len(q) == 0 {
+					continue
+				}
+				head := q[0]
+				if !wantsPort(s.Policy.Candidates(mn.net, head, r.at, inPort), out) {
+					continue
+				}
+				if out == portLocal {
+					// Ejection always has room (the tile consumes it).
+					grants = append(grants, grant{r, inPort, out})
+					r.rrAt[out] = inPort
+					taken[inPort] = true
+					break
+				}
+				nextTile := r.at.Step(dirOfPort(out))
+				if !s.grid.In(nextTile) {
+					// Route points off-array: drop (cannot happen for
+					// in-grid destinations; defensive).
+					grants = append(grants, grant{r, inPort, out})
+					r.rrAt[out] = inPort
+					taken[inPort] = true
+					break
+				}
+				if !spaceFor(nextTile, int(dirOfPort(out).Opposite())) {
+					continue // no credit; try another input for this port
+				}
+				key := [2]int{g.Index(nextTile), int(dirOfPort(out).Opposite())}
+				reserved[key]++
+				grants = append(grants, grant{r, inPort, out})
+				r.rrAt[out] = inPort
+				taken[inPort] = true
+				break
+			}
+		}
+	}
+
+	// Traversal: apply the grants.
+	for _, gr := range grants {
+		pkt := gr.r.in[gr.inPort][0]
+		gr.r.in[gr.inPort] = gr.r.in[gr.inPort][1:]
+		if gr.outPort == portLocal {
+			pkt.DeliveredAt = s.cycle
+			s.stats.Delivered++
+			s.stats.TotalLatency += pkt.Latency()
+			s.stats.TotalHops += pkt.Hops
+			if pkt.Latency() > s.stats.MaxLatency {
+				s.stats.MaxLatency = pkt.Latency()
+			}
+			if s.RetainDelivered {
+				s.delivered = append(s.delivered, pkt)
+			}
+			if s.OnDeliver != nil {
+				s.OnDeliver(pkt)
+			}
+			continue
+		}
+		next := gr.r.at.Step(dirOfPort(gr.outPort))
+		if !s.grid.In(next) {
+			s.stats.Dropped++
+			continue
+		}
+		pkt.Hops++
+		s.linkUse[mn.net][g.Index(gr.r.at)*geom.NumDirs+gr.outPort]++
+		mn.flights = append(mn.flights, inFlight{
+			pkt:     pkt,
+			arrive:  s.cycle + int64(s.cfg.LinkLatency),
+			dstTile: next,
+			dstPort: int(dirOfPort(gr.outPort).Opposite()),
+		})
+	}
+}
+
+// wantsPort reports whether out appears in the candidate list.
+func wantsPort(candidates []int, out int) bool {
+	for _, c := range candidates {
+		if c == out {
+			return true
+		}
+	}
+	return false
+}
+
+// dirOfPort converts a direction-port index back to a geom.Dir.
+func dirOfPort(p int) geom.Dir { return geom.Dir(p) }
+
+// Drained reports whether no packet remains anywhere in the network.
+func (s *Sim) Drained() bool {
+	for _, mn := range s.nets {
+		if len(mn.flights) > 0 {
+			return false
+		}
+		for _, r := range mn.routers {
+			if r == nil {
+				continue
+			}
+			for p := 0; p < numPorts; p++ {
+				if len(r.in[p]) > 0 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// RunUntilDrained steps until the network empties or maxCycles elapse;
+// it returns an error on timeout, which in a deadlock-free network with
+// finite traffic indicates a bug.
+func (s *Sim) RunUntilDrained(maxCycles int) error {
+	for i := 0; i < maxCycles; i++ {
+		if s.Drained() {
+			return nil
+		}
+		s.Step()
+	}
+	if s.Drained() {
+		return nil
+	}
+	return fmt.Errorf("noc: network not drained after %d cycles (possible deadlock)", maxCycles)
+}

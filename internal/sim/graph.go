@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Graph is a weighted directed graph in CSR form — the representation
+// the workloads lay out in the waferscale shared memory.
+type Graph struct {
+	N      int     // vertices
+	RowPtr []int32 // len N+1
+	ColIdx []int32 // len M
+	Weight []int32 // len M
+}
+
+// M returns the edge count.
+func (g *Graph) M() int { return len(g.ColIdx) }
+
+// Infinity is the unreached distance marker. It is small enough that
+// Infinity + maxWeight cannot overflow int32.
+const Infinity int32 = 0x3FFFFFFF
+
+// RandomGraph generates a connected-ish random digraph: a random cycle
+// backbone (guaranteeing strong connectivity) plus extra random edges,
+// with weights in [1, maxW]. Deterministic for a given seed.
+func RandomGraph(n, extraEdges, maxW int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	type edge struct{ u, v, w int32 }
+	edges := make([]edge, 0, n+extraEdges)
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		u, v := perm[i], perm[(i+1)%n]
+		edges = append(edges, edge{int32(u), int32(v), int32(rng.Intn(maxW)) + 1})
+	}
+	for i := 0; i < extraEdges; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		edges = append(edges, edge{int32(u), int32(v), int32(rng.Intn(maxW)) + 1})
+	}
+	return fromEdges(n, func(emit func(u, v, w int32)) {
+		for _, e := range edges {
+			emit(e.u, e.v, e.w)
+		}
+	})
+}
+
+// GridGraph generates a w x h 4-neighbor mesh with unit weights — a
+// stencil-like workload topology.
+func GridGraph(w, h int) *Graph {
+	n := w * h
+	return fromEdges(n, func(emit func(u, v, wt int32)) {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				u := int32(y*w + x)
+				if x+1 < w {
+					emit(u, u+1, 1)
+					emit(u+1, u, 1)
+				}
+				if y+1 < h {
+					emit(u, u+int32(w), 1)
+					emit(u+int32(w), u, 1)
+				}
+			}
+		}
+	})
+}
+
+// fromEdges builds CSR from an edge emitter.
+func fromEdges(n int, gen func(emit func(u, v, w int32))) *Graph {
+	deg := make([]int32, n)
+	type e struct{ u, v, w int32 }
+	var all []e
+	gen(func(u, v, w int32) {
+		all = append(all, e{u, v, w})
+		deg[u]++
+	})
+	g := &Graph{N: n, RowPtr: make([]int32, n+1)}
+	for i := 0; i < n; i++ {
+		g.RowPtr[i+1] = g.RowPtr[i] + deg[i]
+	}
+	g.ColIdx = make([]int32, len(all))
+	g.Weight = make([]int32, len(all))
+	fill := append([]int32(nil), g.RowPtr[:n]...)
+	for _, ed := range all {
+		p := fill[ed.u]
+		g.ColIdx[p] = ed.v
+		g.Weight[p] = ed.w
+		fill[ed.u]++
+	}
+	return g
+}
+
+// ReferenceSSSP computes shortest distances from src with Bellman-Ford
+// on the host — the oracle the on-wafer kernel is checked against.
+// Unweighted graphs make this reference BFS levels.
+func (g *Graph) ReferenceSSSP(src int) []int32 {
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	dist[src] = 0
+	for round := 0; round < g.N; round++ {
+		changed := false
+		for u := 0; u < g.N; u++ {
+			if dist[u] == Infinity {
+				continue
+			}
+			for e := g.RowPtr[u]; e < g.RowPtr[u+1]; e++ {
+				v := g.ColIdx[e]
+				if nd := dist[u] + g.Weight[e]; nd < dist[v] {
+					dist[v] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+// Unweighted returns a copy with all weights 1 (BFS levels = SSSP
+// distances on it).
+func (g *Graph) Unweighted() *Graph {
+	w := make([]int32, len(g.Weight))
+	for i := range w {
+		w[i] = 1
+	}
+	return &Graph{N: g.N, RowPtr: g.RowPtr, ColIdx: g.ColIdx, Weight: w}
+}
+
+// ReverseCSR returns the graph with every edge reversed — the kernel is
+// pull-based (vertex v scans its *incoming* edges), so the host lays
+// out the reversed CSR.
+func (g *Graph) ReverseCSR() *Graph {
+	return fromEdges(g.N, func(emit func(u, v, w int32)) {
+		for u := 0; u < g.N; u++ {
+			for e := g.RowPtr[u]; e < g.RowPtr[u+1]; e++ {
+				emit(g.ColIdx[e], int32(u), g.Weight[e])
+			}
+		}
+	})
+}
+
+// Validate sanity-checks the CSR arrays.
+func (g *Graph) Validate() error {
+	if g.N < 1 || len(g.RowPtr) != g.N+1 || len(g.ColIdx) != len(g.Weight) {
+		return fmt.Errorf("sim: malformed CSR (n=%d, rowptr=%d, colidx=%d, weight=%d)",
+			g.N, len(g.RowPtr), len(g.ColIdx), len(g.Weight))
+	}
+	if g.RowPtr[0] != 0 || int(g.RowPtr[g.N]) != len(g.ColIdx) {
+		return fmt.Errorf("sim: rowptr endpoints wrong")
+	}
+	for i := 0; i < g.N; i++ {
+		if g.RowPtr[i] > g.RowPtr[i+1] {
+			return fmt.Errorf("sim: rowptr not monotone at %d", i)
+		}
+	}
+	for _, v := range g.ColIdx {
+		if v < 0 || int(v) >= g.N {
+			return fmt.Errorf("sim: edge target %d out of range", v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,692 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"waferscale/internal/arch"
+	"waferscale/internal/fault"
+	"waferscale/internal/geom"
+	"waferscale/internal/noc"
+)
+
+// Fixed intra-tile access latencies in cycles. Remote latencies emerge
+// from the network simulation.
+const (
+	latPrivate   = 1 // core-private SRAM
+	latLocalBank = 2 // tile-local bank through the crossbar
+	latOwnGlobal = 3 // own tile's shared banks through the crossbar
+)
+
+// Remote memory operation codes carried in the packet tag.
+const (
+	remLoad = iota
+	remStore
+	remAmoAdd
+	remAmoMin
+)
+
+// coreState is the execution state of one core.
+type coreState int
+
+const (
+	coreRunning coreState = iota
+	coreStalled           // fixed-latency access in flight
+	coreRemote            // remote request in flight (or awaiting injection)
+	coreHalted
+	coreFaulted
+)
+
+// Core is one in-order WS-ISA core with its private SRAM.
+type Core struct {
+	tile geom.Coord
+	idx  int
+
+	Regs [16]uint32
+	PC   uint32
+	priv []byte
+
+	state      coreState
+	stallUntil int64
+	// pending fixed-latency load destination (-1 when none).
+	loadReg int
+	loadVal uint32
+	// pending remote op.
+	rem struct {
+		injected bool
+		net      noc.Network
+		dst      geom.Coord
+		tag      uint32
+		payload  uint64
+		reg      int // destination register for load/amo (-1 for store)
+		issuedAt int64
+	}
+
+	Instret     int64 // retired instructions
+	StallFixed  int64 // cycles stalled on private/bank latency
+	StallRemote int64 // cycles stalled on remote round trips
+	RetryCycles int64 // cycles burned retrying bank conflicts
+	Err         error // set when the core faults
+}
+
+// Halted reports whether the core stopped (halt or fault).
+func (c *Core) Halted() bool { return c.state == coreHalted || c.state == coreFaulted }
+
+// Tile is one tile: cores plus the memory chiplet's banks.
+type Tile struct {
+	Coord geom.Coord
+	Cores []*Core
+	banks [][]byte
+	// bankBusy tracks the last cycle each bank served an access, for
+	// single-port contention.
+	bankBusy []int64
+}
+
+// Machine is the whole (or partial) waferscale system.
+type Machine struct {
+	Cfg    arch.Config
+	grid   geom.Grid
+	fm     *fault.Map
+	amap   *arch.AddressMap
+	kernel *noc.Kernel
+	net    *noc.Sim
+	tiles  []*Tile
+
+	cycle   int64
+	pending []responseToSend
+	tagSeq  uint32
+
+	traceW      io.Writer
+	traceFilter TraceFilter
+
+	// Stats.
+	RemoteRequests int64
+	RemoteLatency  int64 // summed cycles from issue to completion
+	BankConflicts  int64
+}
+
+type responseToSend struct {
+	net     noc.Network
+	src     geom.Coord
+	dst     geom.Coord
+	tag     uint32
+	payload uint64
+}
+
+// NewMachine builds a machine for a configuration and fault map. The
+// configuration's tile array must match the fault map's grid.
+func NewMachine(cfg arch.Config, fm *fault.Map) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Grid() != fm.Grid() {
+		return nil, fmt.Errorf("sim: config grid %v != fault map grid %v", cfg.Grid(), fm.Grid())
+	}
+	netSim, err := noc.NewSim(fm, noc.DefaultSimConfig())
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		Cfg:    cfg,
+		grid:   cfg.Grid(),
+		fm:     fm,
+		amap:   arch.NewAddressMap(cfg),
+		kernel: noc.NewKernel(fm),
+		net:    netSim,
+		tiles:  make([]*Tile, cfg.Grid().Size()),
+	}
+	netSim.OnDeliver = m.onDeliver
+	m.grid.All(func(c geom.Coord) {
+		if fm.Faulty(c) {
+			return
+		}
+		t := &Tile{Coord: c}
+		for i := 0; i < cfg.CoresPerTile; i++ {
+			t.Cores = append(t.Cores, &Core{
+				tile:    c,
+				idx:     i,
+				priv:    make([]byte, cfg.PrivateMemPerCore),
+				state:   coreHalted, // cores start parked until a program loads
+				loadReg: -1,
+			})
+		}
+		t.banks = make([][]byte, cfg.SharedBanksPerTile)
+		t.bankBusy = make([]int64, cfg.SharedBanksPerTile)
+		for b := range t.banks {
+			t.banks[b] = make([]byte, cfg.BankBytes)
+		}
+		m.tiles[m.grid.Index(c)] = t
+	})
+	return m, nil
+}
+
+// Tile returns the tile at c, or nil for faulty tiles.
+func (m *Machine) Tile(c geom.Coord) *Tile {
+	if !m.grid.In(c) {
+		return nil
+	}
+	return m.tiles[m.grid.Index(c)]
+}
+
+// Cycle returns the elapsed cycles.
+func (m *Machine) Cycle() int64 { return m.cycle }
+
+// Net exposes the network simulator's statistics.
+func (m *Machine) Net() *noc.Sim { return m.net }
+
+// LoadProgram writes an assembled program into a core's private SRAM
+// at address 0, resets the core and starts it.
+func (m *Machine) LoadProgram(tile geom.Coord, core int, words []uint32) error {
+	t := m.Tile(tile)
+	if t == nil {
+		return fmt.Errorf("sim: tile %v is faulty or out of range", tile)
+	}
+	if core < 0 || core >= len(t.Cores) {
+		return fmt.Errorf("sim: core %d out of range", core)
+	}
+	c := t.Cores[core]
+	if len(words)*4 > len(c.priv) {
+		return fmt.Errorf("sim: program (%d words) exceeds private SRAM", len(words))
+	}
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(c.priv[4*i:], w)
+	}
+	c.PC = 0
+	c.Regs = [16]uint32{}
+	c.state = coreRunning
+	c.Err = nil
+	c.Instret = 0
+	return nil
+}
+
+// WritePrivate32 is the host backdoor into a core's private SRAM (the
+// JTAG path in the prototype), used to pass per-core parameters.
+func (m *Machine) WritePrivate32(tile geom.Coord, core int, addr uint32, v uint32) error {
+	t := m.Tile(tile)
+	if t == nil {
+		return fmt.Errorf("sim: tile %v is faulty or out of range", tile)
+	}
+	if core < 0 || core >= len(t.Cores) {
+		return fmt.Errorf("sim: core %d out of range", core)
+	}
+	if int(addr)+4 > len(t.Cores[core].priv) || addr%4 != 0 {
+		return fmt.Errorf("sim: bad private address %#x", addr)
+	}
+	binary.LittleEndian.PutUint32(t.Cores[core].priv[addr:], v)
+	return nil
+}
+
+// ReadPrivate32 is the host backdoor for reads from private SRAM.
+func (m *Machine) ReadPrivate32(tile geom.Coord, core int, addr uint32) (uint32, error) {
+	t := m.Tile(tile)
+	if t == nil {
+		return 0, fmt.Errorf("sim: tile %v is faulty or out of range", tile)
+	}
+	if core < 0 || core >= len(t.Cores) {
+		return 0, fmt.Errorf("sim: core %d out of range", core)
+	}
+	if int(addr)+4 > len(t.Cores[core].priv) || addr%4 != 0 {
+		return 0, fmt.Errorf("sim: bad private address %#x", addr)
+	}
+	return binary.LittleEndian.Uint32(t.Cores[core].priv[addr:]), nil
+}
+
+// Broadcast loads the same program into every core of every healthy
+// tile — the common case the paper's JTAG broadcast mode optimizes.
+func (m *Machine) Broadcast(words []uint32) error {
+	for _, t := range m.tiles {
+		if t == nil {
+			continue
+		}
+		for i := range t.Cores {
+			if err := m.LoadProgram(t.Coord, i, words); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// globalID returns a core's global id: tileIndex*coresPerTile + idx.
+func (m *Machine) globalID(c *Core) uint32 {
+	return uint32(m.grid.Index(c.tile)*m.Cfg.CoresPerTile + c.idx)
+}
+
+// bank32 accesses a bank word (little endian).
+func bank32(b []byte, off uint32) uint32 { return binary.LittleEndian.Uint32(b[off:]) }
+func setBank32(b []byte, off uint32, v uint32) {
+	binary.LittleEndian.PutUint32(b[off:], v)
+}
+
+// ReadGlobal32 is the host (JTAG-style) backdoor into shared memory,
+// used for workload setup and result verification.
+func (m *Machine) ReadGlobal32(addr uint32) (uint32, error) {
+	tile, bank, off, err := m.amap.GlobalTarget(addr)
+	if err != nil {
+		return 0, err
+	}
+	t := m.Tile(tile)
+	if t == nil {
+		return 0, fmt.Errorf("sim: global address %#x lives on faulty tile %v", addr, tile)
+	}
+	return bank32(t.banks[bank], off), nil
+}
+
+// WriteGlobal32 is the host backdoor for stores.
+func (m *Machine) WriteGlobal32(addr uint32, v uint32) error {
+	tile, bank, off, err := m.amap.GlobalTarget(addr)
+	if err != nil {
+		return err
+	}
+	t := m.Tile(tile)
+	if t == nil {
+		return fmt.Errorf("sim: global address %#x lives on faulty tile %v", addr, tile)
+	}
+	setBank32(t.banks[bank], off, v)
+	return nil
+}
+
+// onDeliver handles packets ejecting at their destination tile.
+func (m *Machine) onDeliver(p noc.Packet) {
+	if p.Kind == noc.Request {
+		// Serve the memory operation on this tile's banks, then queue
+		// the response onto the complementary network (the pairing is
+		// baked into the router hardware in the prototype).
+		result := m.serveRemote(p)
+		m.pending = append(m.pending, responseToSend{
+			net:     p.Net.Complement(),
+			src:     p.Dst,
+			dst:     p.Src,
+			tag:     p.Tag,
+			payload: uint64(result),
+		})
+		return
+	}
+	// Response: complete the waiting core.
+	t := m.Tile(p.Dst)
+	if t == nil {
+		return
+	}
+	coreIdx := int(p.Tag >> 2 & 0xF)
+	if coreIdx >= len(t.Cores) {
+		return
+	}
+	c := t.Cores[coreIdx]
+	if c.state != coreRemote || c.rem.tag != p.Tag {
+		return // stale response; ignore
+	}
+	if c.rem.reg > 0 { // r0 is hardwired zero
+		c.Regs[c.rem.reg] = uint32(p.Payload)
+	}
+	m.RemoteRequests++
+	m.RemoteLatency += m.cycle - c.rem.issuedAt
+	c.state = coreRunning
+}
+
+// serveRemote performs a remote memory op at the destination tile.
+// Payload layout: addr in the high 32 bits, data in the low 32.
+func (m *Machine) serveRemote(p noc.Packet) uint32 {
+	addr := uint32(p.Payload >> 32)
+	data := uint32(p.Payload)
+	tile, bank, off, err := m.amap.GlobalTarget(addr)
+	if err != nil || tile != p.Dst {
+		return 0xDEAD0000
+	}
+	t := m.Tile(tile)
+	if t == nil {
+		return 0xDEAD0001
+	}
+	old := bank32(t.banks[bank], off)
+	switch p.Tag & 0b11 {
+	case remStore:
+		setBank32(t.banks[bank], off, data)
+	case remAmoAdd:
+		setBank32(t.banks[bank], off, old+data)
+	case remAmoMin:
+		if int32(data) < int32(old) {
+			setBank32(t.banks[bank], off, data)
+		}
+	}
+	return old
+}
+
+// Step advances the machine one cycle.
+func (m *Machine) Step() {
+	m.cycle++
+	m.net.Step()
+	// Inject queued responses (retrying those that met backpressure).
+	retry := m.pending[:0]
+	for _, r := range m.pending {
+		if _, err := m.net.Inject(r.net, r.src, r.dst, noc.Response, r.tag, r.payload); err != nil {
+			retry = append(retry, r)
+		}
+	}
+	m.pending = retry
+	for _, t := range m.tiles {
+		if t == nil {
+			continue
+		}
+		// Rotate the stepping order so crossbar-bank arbitration is
+		// fair: with fixed priority, spinning readers on a bank can
+		// starve a later core's write indefinitely (barrier livelock).
+		n := len(t.Cores)
+		start := int(m.cycle) % n
+		for i := 0; i < n; i++ {
+			m.stepCore(t, t.Cores[(start+i)%n])
+		}
+	}
+}
+
+// Run steps until every started core halts or maxCycles pass.
+func (m *Machine) Run(maxCycles int64) error {
+	for i := int64(0); i < maxCycles; i++ {
+		if m.AllHalted() {
+			return nil
+		}
+		m.Step()
+	}
+	if m.AllHalted() {
+		return nil
+	}
+	return fmt.Errorf("sim: not halted after %d cycles", maxCycles)
+}
+
+// AllHalted reports whether every core is halted or faulted.
+func (m *Machine) AllHalted() bool {
+	for _, t := range m.tiles {
+		if t == nil {
+			continue
+		}
+		for _, c := range t.Cores {
+			if !c.Halted() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Faults returns the errors of all faulted cores.
+func (m *Machine) Faults() []error {
+	var out []error
+	for _, t := range m.tiles {
+		if t == nil {
+			continue
+		}
+		for _, c := range t.Cores {
+			if c.state == coreFaulted {
+				out = append(out, fmt.Errorf("tile %v core %d @pc=%#x: %w", t.Coord, c.idx, c.PC, c.Err))
+			}
+		}
+	}
+	return out
+}
+
+// AvgRemoteLatency returns mean remote access round-trip cycles.
+func (m *Machine) AvgRemoteLatency() float64 {
+	if m.RemoteRequests == 0 {
+		return 0
+	}
+	return float64(m.RemoteLatency) / float64(m.RemoteRequests)
+}
+
+func (m *Machine) fault(c *Core, format string, args ...any) {
+	c.Err = fmt.Errorf(format, args...)
+	c.state = coreFaulted
+}
+
+func (m *Machine) stepCore(t *Tile, c *Core) {
+	switch c.state {
+	case coreHalted, coreFaulted:
+		return
+	case coreStalled:
+		if m.cycle < c.stallUntil {
+			c.StallFixed++
+			return
+		}
+		if c.loadReg > 0 { // r0 is hardwired zero
+			c.Regs[c.loadReg] = c.loadVal
+		}
+		c.loadReg = -1
+		c.state = coreRunning
+		return // the completing cycle does not also execute
+	case coreRemote:
+		c.StallRemote++
+		if !c.rem.injected {
+			if _, err := m.net.Inject(c.rem.net, c.tile, c.rem.dst, noc.Request, c.rem.tag, c.rem.payload); err == nil {
+				c.rem.injected = true
+			}
+		}
+		return
+	}
+	m.execute(t, c)
+}
+
+func (m *Machine) execute(t *Tile, c *Core) {
+	if int(c.PC)+4 > len(c.priv) {
+		m.fault(c, "pc outside private SRAM")
+		return
+	}
+	in := Decode(binary.LittleEndian.Uint32(c.priv[c.PC:]))
+	m.trace(c, in)
+	next := c.PC + 4
+	r := &c.Regs
+	switch in.Op {
+	case OpNop:
+	case OpHalt:
+		c.state = coreHalted
+		c.Instret++
+		return
+	case OpLI:
+		r[in.Rd] = uint32(in.Imm)
+	case OpLUI:
+		r[in.Rd] = uint32(in.Imm) << 16
+	case OpOrLo:
+		r[in.Rd] |= uint32(in.Imm) & 0xFFFF
+	case OpAdd:
+		r[in.Rd] = r[in.Rs1] + r[in.Rs2]
+	case OpSub:
+		r[in.Rd] = r[in.Rs1] - r[in.Rs2]
+	case OpMul:
+		r[in.Rd] = r[in.Rs1] * r[in.Rs2]
+	case OpAnd:
+		r[in.Rd] = r[in.Rs1] & r[in.Rs2]
+	case OpOr:
+		r[in.Rd] = r[in.Rs1] | r[in.Rs2]
+	case OpXor:
+		r[in.Rd] = r[in.Rs1] ^ r[in.Rs2]
+	case OpShl:
+		r[in.Rd] = r[in.Rs1] << (r[in.Rs2] & 31)
+	case OpShr:
+		r[in.Rd] = r[in.Rs1] >> (r[in.Rs2] & 31)
+	case OpSlt:
+		r[in.Rd] = b2u(int32(r[in.Rs1]) < int32(r[in.Rs2]))
+	case OpSltu:
+		r[in.Rd] = b2u(r[in.Rs1] < r[in.Rs2])
+	case OpAddi:
+		r[in.Rd] = r[in.Rs1] + uint32(in.Imm)
+	case OpBeq:
+		if r[in.Rs1] == r[in.Rs2] {
+			next = c.PC + 4 + uint32(in.Imm)*4
+		}
+	case OpBne:
+		if r[in.Rs1] != r[in.Rs2] {
+			next = c.PC + 4 + uint32(in.Imm)*4
+		}
+	case OpBlt:
+		if int32(r[in.Rs1]) < int32(r[in.Rs2]) {
+			next = c.PC + 4 + uint32(in.Imm)*4
+		}
+	case OpBge:
+		if int32(r[in.Rs1]) >= int32(r[in.Rs2]) {
+			next = c.PC + 4 + uint32(in.Imm)*4
+		}
+	case OpJal:
+		r[in.Rd] = c.PC + 4
+		next = c.PC + 4 + uint32(in.Imm)*4
+	case OpJr:
+		next = r[in.Rs1]
+	case OpCoreID:
+		r[in.Rd] = m.globalID(c)
+	case OpNCores:
+		r[in.Rd] = uint32(m.Cfg.TotalCores())
+	case OpLw, OpSw, OpAmoAdd, OpAmoMin:
+		if !m.memOp(t, c, in) {
+			return // retry same instruction next cycle (bank conflict)
+		}
+		c.Instret++
+		c.PC = next
+		return
+	default:
+		m.fault(c, "illegal opcode %d", int(in.Op))
+		return
+	}
+	r[0] = 0 // r0 is hardwired zero
+	c.Instret++
+	c.PC = next
+}
+
+// memOp issues a memory instruction; it returns false when the access
+// must retry next cycle (crossbar bank conflict).
+func (m *Machine) memOp(t *Tile, c *Core, in Instr) bool {
+	var addr uint32
+	if in.Op == OpAmoAdd || in.Op == OpAmoMin {
+		addr = c.Regs[in.Rs1]
+	} else {
+		addr = c.Regs[in.Rs1] + uint32(in.Imm)
+	}
+	if addr%4 != 0 {
+		m.fault(c, "unaligned access %#x", addr)
+		return true
+	}
+	switch m.amap.Region(addr) {
+	case arch.RegionPrivate:
+		switch in.Op {
+		case OpLw:
+			c.loadVal = binary.LittleEndian.Uint32(c.priv[addr:])
+			c.loadReg = in.Rd
+		case OpSw:
+			binary.LittleEndian.PutUint32(c.priv[addr:], c.Regs[in.Rs2])
+			c.loadReg = -1
+		default:
+			// Atomics on private memory are pointless but harmless.
+			old := binary.LittleEndian.Uint32(c.priv[addr:])
+			m.applyAmo(c.priv[addr:addr+4], in.Op, old, c.Regs[in.Rs2])
+			c.loadVal = old
+			c.loadReg = in.Rd
+		}
+		c.state = coreStalled
+		c.stallUntil = m.cycle + latPrivate
+		return true
+
+	case arch.RegionLocalBank:
+		bank := m.Cfg.GlobalBanksPerTile // the tile-local bank
+		off := addr - arch.LocalBankBase
+		return m.bankAccess(t, c, in, bank, off, latLocalBank)
+
+	case arch.RegionGlobal:
+		tile, bank, off, err := m.amap.GlobalTarget(addr)
+		if err != nil {
+			m.fault(c, "bad global address %#x: %v", addr, err)
+			return true
+		}
+		if tile == c.tile {
+			return m.bankAccess(t, c, in, bank, off, latOwnGlobal)
+		}
+		return m.remoteOp(c, in, tile, addr)
+	}
+	m.fault(c, "unmapped address %#x", addr)
+	return true
+}
+
+// bankAccess models the intra-tile crossbar: each bank serves one
+// access per cycle; a conflicting core retries next cycle.
+func (m *Machine) bankAccess(t *Tile, c *Core, in Instr, bank int, off uint32, lat int64) bool {
+	if t.bankBusy[bank] == m.cycle {
+		m.BankConflicts++
+		c.RetryCycles++
+		return false
+	}
+	t.bankBusy[bank] = m.cycle
+	b := t.banks[bank]
+	old := bank32(b, off)
+	switch in.Op {
+	case OpLw:
+		c.loadVal = old
+		c.loadReg = in.Rd
+	case OpSw:
+		setBank32(b, off, c.Regs[in.Rs2])
+		c.loadReg = -1
+	default:
+		m.applyAmo(b[off:off+4], in.Op, old, c.Regs[in.Rs2])
+		c.loadVal = old
+		c.loadReg = in.Rd
+	}
+	c.state = coreStalled
+	c.stallUntil = m.cycle + lat
+	return true
+}
+
+func (m *Machine) applyAmo(word []byte, op Op, old, operand uint32) {
+	switch op {
+	case OpAmoAdd:
+		binary.LittleEndian.PutUint32(word, old+operand)
+	case OpAmoMin:
+		if int32(operand) < int32(old) {
+			binary.LittleEndian.PutUint32(word, operand)
+		}
+	}
+}
+
+// remoteOp issues a request packet for a remote global access.
+func (m *Machine) remoteOp(c *Core, in Instr, dst geom.Coord, addr uint32) bool {
+	dec, err := m.kernel.Decide(c.tile, dst)
+	if err != nil || !dec.Reachable {
+		m.fault(c, "tile %v unreachable from %v", dst, c.tile)
+		return true
+	}
+	if len(dec.Via) > 0 {
+		// Relay routing needs kernel software on the relay tile; the
+		// machine model requires directly reachable pairs.
+		m.fault(c, "tile %v reachable from %v only via relays; not supported by the hardware path", dst, c.tile)
+		return true
+	}
+	op := uint32(remLoad)
+	reg := in.Rd
+	data := uint32(0)
+	switch in.Op {
+	case OpSw:
+		op = remStore
+		reg = -1
+		data = c.Regs[in.Rs2]
+	case OpAmoAdd:
+		op = remAmoAdd
+		data = c.Regs[in.Rs2]
+	case OpAmoMin:
+		op = remAmoMin
+		data = c.Regs[in.Rs2]
+	}
+	m.tagSeq++
+	tag := op | uint32(c.idx)<<2 | m.tagSeq<<6
+	c.rem.injected = false
+	c.rem.net = dec.Request
+	c.rem.dst = dst
+	c.rem.tag = tag
+	c.rem.payload = uint64(addr)<<32 | uint64(data)
+	c.rem.reg = reg
+	c.rem.issuedAt = m.cycle
+	c.state = coreRemote
+	// Try to inject immediately.
+	if _, err := m.net.Inject(dec.Request, c.tile, dst, noc.Request, tag, c.rem.payload); err == nil {
+		c.rem.injected = true
+	}
+	return true
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

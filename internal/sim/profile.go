@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Profile is the machine-wide execution profile: where the cores'
+// cycles went. It quantifies the NUMA behaviour of the unified shared
+// memory — the architectural trade the paper's tile hierarchy makes.
+type Profile struct {
+	ActiveCores   int
+	Cycles        int64
+	Instructions  int64
+	StallFixed    int64 // intra-tile memory latency
+	StallRemote   int64 // waferscale network round trips
+	RetryCycles   int64 // crossbar bank conflicts
+	RemoteOps     int64
+	RemoteLatency float64
+	BankConflicts int64
+}
+
+// CPI returns machine cycles per instruction across active cores.
+func (p Profile) CPI() float64 {
+	if p.Instructions == 0 {
+		return 0
+	}
+	return float64(p.Cycles) * float64(p.ActiveCores) / float64(p.Instructions)
+}
+
+// RemoteStallFrac returns the fraction of core cycles spent waiting on
+// the network.
+func (p Profile) RemoteStallFrac() float64 {
+	total := float64(p.Cycles) * float64(p.ActiveCores)
+	if total == 0 {
+		return 0
+	}
+	return float64(p.StallRemote) / total
+}
+
+// CollectProfile aggregates counters over cores that executed at least
+// one instruction.
+func (m *Machine) CollectProfile() Profile {
+	p := Profile{
+		Cycles:        m.cycle,
+		RemoteOps:     m.RemoteRequests,
+		RemoteLatency: m.AvgRemoteLatency(),
+		BankConflicts: m.BankConflicts,
+	}
+	for _, t := range m.tiles {
+		if t == nil {
+			continue
+		}
+		for _, c := range t.Cores {
+			if c.Instret == 0 {
+				continue
+			}
+			p.ActiveCores++
+			p.Instructions += c.Instret
+			p.StallFixed += c.StallFixed
+			p.StallRemote += c.StallRemote
+			p.RetryCycles += c.RetryCycles
+		}
+	}
+	return p
+}
+
+// WriteProfile renders the profile with a per-core hot list.
+func (m *Machine) WriteProfile(w io.Writer, topN int) {
+	p := m.CollectProfile()
+	fmt.Fprintf(w, "machine profile: %d cycles, %d active cores\n", p.Cycles, p.ActiveCores)
+	fmt.Fprintf(w, "  instructions     %d (CPI %.2f)\n", p.Instructions, p.CPI())
+	fmt.Fprintf(w, "  remote stalls    %d cycles (%.1f%% of core time), %d ops at %.1f cyc avg\n",
+		p.StallRemote, p.RemoteStallFrac()*100, p.RemoteOps, p.RemoteLatency)
+	fmt.Fprintf(w, "  local stalls     %d cycles; bank-conflict retries %d\n", p.StallFixed, p.RetryCycles)
+
+	type coreRow struct {
+		name  string
+		insts int64
+		rstal int64
+	}
+	var rows []coreRow
+	for _, t := range m.tiles {
+		if t == nil {
+			continue
+		}
+		for _, c := range t.Cores {
+			if c.Instret > 0 {
+				rows = append(rows, coreRow{
+					name:  fmt.Sprintf("tile%v.core%d", t.Coord, c.idx),
+					insts: c.Instret,
+					rstal: c.StallRemote,
+				})
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].insts > rows[j].insts })
+	if topN > len(rows) {
+		topN = len(rows)
+	}
+	for _, r := range rows[:topN] {
+		fmt.Fprintf(w, "    %-22s %8d instret %8d remote-stall\n", r.name, r.insts, r.rstal)
+	}
+}

@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"waferscale/internal/geom"
+)
+
+// Instruction tracing: the software-debug view the prototype would get
+// over its JTAG debug ports. Enable with Machine.SetTrace; every
+// retired instruction of the selected cores emits one line:
+//
+//	cyc=123 tile=(1,0) core=3 pc=0x0010 add r3, r1, r2
+//
+// Tracing the 64-core test machines is cheap; tracing all 14336 cores
+// of the full system is possible but torrential — filter.
+
+// TraceFilter selects which cores emit trace lines; nil matches all.
+type TraceFilter func(tile geom.Coord, core int) bool
+
+// SetTrace directs the instruction trace to w (nil disables tracing).
+func (m *Machine) SetTrace(w io.Writer, filter TraceFilter) {
+	m.traceW = w
+	m.traceFilter = filter
+}
+
+// TraceCore returns a filter matching exactly one core.
+func TraceCore(tile geom.Coord, core int) TraceFilter {
+	return func(t geom.Coord, c int) bool { return t == tile && c == core }
+}
+
+// trace emits one line if tracing is enabled for the core.
+func (m *Machine) trace(c *Core, in Instr) {
+	if m.traceW == nil {
+		return
+	}
+	if m.traceFilter != nil && !m.traceFilter(c.tile, c.idx) {
+		return
+	}
+	fmt.Fprintf(m.traceW, "cyc=%d tile=%v core=%d pc=%#06x %s\n",
+		m.cycle, c.tile, c.idx, c.PC, in)
+}

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"waferscale/internal/fault"
+	"waferscale/internal/geom"
+)
+
+// TestMatVecOnMachine: y = A*x computed by WS-ISA workers matches the
+// host reference.
+func TestMatVecOnMachine(t *testing.T) {
+	m := newMachine(t, smallConfig(), nil)
+	a, x := RandomMatrix(20, 3)
+	y, res, err := RunMatVec(m, a, x, AllWorkers(m, 10), 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ReferenceMatVec(a, x)
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y[%d] = %d, want %d", i, y[i], want[i])
+		}
+	}
+	if res.Cycles <= 0 || res.Instructions <= 0 {
+		t.Errorf("stats = %+v", res)
+	}
+}
+
+// TestMatVecNegativeValues: signed arithmetic through mul/add.
+func TestMatVecNegativeValues(t *testing.T) {
+	m := newMachine(t, smallConfig(), nil)
+	a := [][]int32{{-1, 2}, {3, -4}}
+	x := []int32{-5, 6}
+	y, _, err := RunMatVec(m, a, x, AllWorkers(m, 2), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 17 || y[1] != -39 {
+		t.Errorf("y = %v, want [17 -39]", y)
+	}
+}
+
+func TestMatVecValidation(t *testing.T) {
+	m := newMachine(t, smallConfig(), nil)
+	if _, _, err := RunMatVec(m, nil, nil, AllWorkers(m, 1), 1000); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, _, err := RunMatVec(m, [][]int32{{1, 2}}, []int32{1, 2}, AllWorkers(m, 1), 1000); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, _, err := RunMatVec(m, [][]int32{{1}}, []int32{1}, nil, 1000); err == nil {
+		t.Error("no workers accepted")
+	}
+}
+
+// TestHistogramOnMachine: shared-bin counting with amoadd contention
+// must be exact — the atomics-under-contention stress test.
+func TestHistogramOnMachine(t *testing.T) {
+	m := newMachine(t, smallConfig(), nil)
+	rng := rand.New(rand.NewSource(9))
+	data := make([]int32, 600)
+	const nBins = 8
+	for i := range data {
+		data[i] = int32(rng.Intn(nBins))
+	}
+	bins, res, err := RunHistogram(m, data, nBins, AllWorkers(m, 16), 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ReferenceHistogram(data, nBins)
+	total := int32(0)
+	for b := range want {
+		if bins[b] != want[b] {
+			t.Errorf("bin %d = %d, want %d", b, bins[b], want[b])
+		}
+		total += bins[b]
+	}
+	if total != int32(len(data)) {
+		t.Errorf("bin total = %d, want %d (lost updates!)", total, len(data))
+	}
+	if res.RemoteOps == 0 {
+		t.Error("histogram should generate remote atomics")
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	m := newMachine(t, smallConfig(), nil)
+	if _, _, err := RunHistogram(m, []int32{5}, 4, AllWorkers(m, 1), 1000); err == nil {
+		t.Error("out-of-range bin accepted")
+	}
+	if _, _, err := RunHistogram(m, []int32{1}, 0, AllWorkers(m, 1), 1000); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, _, err := RunHistogram(m, []int32{1}, 4, nil, 1000); err == nil {
+		t.Error("no workers accepted")
+	}
+}
+
+// TestHistogramWithFaultyTile: atomics-heavy traffic still exact when
+// routing around a dead tile.
+func TestHistogramWithFaultyTile(t *testing.T) {
+	cfg := smallConfig()
+	fm := fault.NewMap(cfg.Grid())
+	fm.MarkFaulty(geom.C(1, 2))
+	m := newMachine(t, cfg, fm)
+	data := make([]int32, 200)
+	for i := range data {
+		data[i] = int32(i % 5)
+	}
+	bins, _, err := RunHistogram(m, data, 5, AllWorkers(m, 8), 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, v := range bins {
+		if v != 40 {
+			t.Errorf("bin %d = %d, want 40", b, v)
+		}
+	}
+}
+
+// TestMatVecScalesWithWorkers: more workers, fewer cycles.
+func TestMatVecScalesWithWorkers(t *testing.T) {
+	a, x := RandomMatrix(24, 5)
+	run := func(w int) int64 {
+		m := newMachine(t, smallConfig(), nil)
+		_, res, err := RunMatVec(m, a, x, AllWorkers(m, w), 50_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	if one, twelve := run(1), run(12); twelve >= one {
+		t.Errorf("12 workers (%d cycles) not faster than 1 (%d)", twelve, one)
+	}
+}
+
+func TestSpreadWorkersPlacement(t *testing.T) {
+	m := newMachine(t, smallConfig(), nil)
+	ws := SpreadWorkers(m, 16)
+	if len(ws) != 16 {
+		t.Fatalf("workers = %d", len(ws))
+	}
+	// First 16 workers on a 16-tile machine: one per tile, all core 0.
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if w.Core != 0 {
+			t.Errorf("worker %v should be core 0 in the first round", w)
+		}
+		key := w.Tile.String()
+		if seen[key] {
+			t.Errorf("tile %v assigned twice in the first round", w.Tile)
+		}
+		seen[key] = true
+	}
+	// Requesting more than one round wraps to core 1.
+	ws = SpreadWorkers(m, 20)
+	if len(ws) != 20 || ws[16].Core != 1 {
+		t.Errorf("second round = %+v", ws[16])
+	}
+	// Capped by total cores.
+	if got := len(SpreadWorkers(m, 9999)); got != 64 {
+		t.Errorf("uncappable request returned %d", got)
+	}
+}
+
+// TestSpreadVsPackedRemoteTraffic: spread placement generates remote
+// traffic where packed placement on the data tile does not.
+func TestSpreadVsPackedRemoteTraffic(t *testing.T) {
+	g := GridGraph(5, 5)
+	run := func(pick func(*Machine, int) []WorkerRef) int64 {
+		cfg := smallConfig()
+		cfg.CoresPerTile = 14
+		m := newMachine(t, cfg, nil)
+		if _, err := RunBFS(m, g, 0, pick(m, 10), 20_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return m.RemoteRequests
+	}
+	packed := run(AllWorkers) // 10 cores, all on tile (0,0) with the data
+	spread := run(SpreadWorkers)
+	if packed != 0 {
+		t.Errorf("packed placement produced %d remote ops; data is local", packed)
+	}
+	if spread == 0 {
+		t.Error("spread placement produced no remote traffic")
+	}
+}

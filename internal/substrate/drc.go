@@ -1,0 +1,97 @@
+package substrate
+
+import (
+	"fmt"
+	"math"
+)
+
+// Violation is one design-rule failure.
+type Violation struct {
+	Rule string
+	Net  string
+	Msg  string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: net %s: %s", v.Rule, v.Net, v.Msg)
+}
+
+// DRC verifies the routed substrate against the technology rules:
+//
+//	jog-free     every segment is exactly horizontal or vertical
+//	layer        horizontal segments on M3, vertical on M4
+//	width        in-reticle wires 2 um; seam-crossing wires 3 um
+//	spacing      same-layer parallel wires at >= the rule spacing
+//	reach        no segment beyond the I/O driver's 500 um
+//	seam-flag    segments crossing a reticle boundary are marked Seam
+func DRC(segments []Segment, rules TechRules, reticle ReticlePlan) []Violation {
+	var out []Violation
+	add := func(rule, net, format string, args ...any) {
+		out = append(out, Violation{Rule: rule, Net: net, Msg: fmt.Sprintf(format, args...)})
+	}
+	for _, s := range segments {
+		dx := math.Abs(s.A.X - s.B.X)
+		dy := math.Abs(s.A.Y - s.B.Y)
+		if dx != 0 && dy != 0 {
+			add("jog-free", s.Net, "segment %v-%v bends", s.A, s.B)
+			continue
+		}
+		if s.Horizontal() && s.Layer != LayerSignalH {
+			add("layer", s.Net, "horizontal segment on %v", s.Layer)
+		}
+		if !s.Horizontal() && s.Layer != LayerSignalV {
+			add("layer", s.Net, "vertical segment on %v", s.Layer)
+		}
+		crosses := reticle.CrossesSeam(s.A, s.B)
+		if crosses != s.Seam {
+			add("seam-flag", s.Net, "seam crossing %v but flagged %v", crosses, s.Seam)
+		}
+		wantWidth := rules.WireWidthUM
+		if crosses {
+			wantWidth = rules.SeamWidthUM
+		}
+		if s.WidthUM != wantWidth {
+			add("width", s.Net, "width %.1f um, want %.1f um", s.WidthUM, wantWidth)
+		}
+		if l := s.Length(); l > rules.MaxSignalLenUM {
+			add("reach", s.Net, "length %.0f um exceeds %.0f um", l, rules.MaxSignalLenUM)
+		}
+	}
+
+	// Spacing: same-layer segments on adjacent or same track lines must
+	// keep the rule spacing edge to edge. With track-snapped jog-free
+	// wires it suffices to check pairs whose center lines are closer
+	// than width+spacing and whose extents overlap.
+	for i := 0; i < len(segments); i++ {
+		for j := i + 1; j < len(segments); j++ {
+			a, b := segments[i], segments[j]
+			if a.Layer != b.Layer || a.Horizontal() != b.Horizontal() {
+				continue
+			}
+			spacing := rules.WireSpacingUM
+			if a.Seam || b.Seam {
+				spacing = rules.SeamSpacingUM
+			}
+			var sep, aLo, aHi, bLo, bHi float64
+			if a.Horizontal() {
+				sep = math.Abs(a.A.Y - b.A.Y)
+				aLo, aHi = math.Min(a.A.X, a.B.X), math.Max(a.A.X, a.B.X)
+				bLo, bHi = math.Min(b.A.X, b.B.X), math.Max(b.A.X, b.B.X)
+			} else {
+				sep = math.Abs(a.A.X - b.A.X)
+				aLo, aHi = math.Min(a.A.Y, a.B.Y), math.Max(a.A.Y, a.B.Y)
+				bLo, bHi = math.Min(b.A.Y, b.B.Y), math.Max(b.A.Y, b.B.Y)
+			}
+			edgeGap := sep - a.WidthUM/2 - b.WidthUM/2
+			overlap := aLo < bHi && bLo < aHi
+			if overlap && sep > 0 && edgeGap < spacing-1e-9 {
+				add("spacing", a.Net, "only %.2f um to net %s (rule %.1f um)", edgeGap, b.Net, spacing)
+			}
+			if overlap && sep == 0 {
+				add("short", a.Net, "overlaps net %s on the same track", b.Net)
+			}
+		}
+	}
+	return out
+}

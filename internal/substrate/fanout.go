@@ -1,0 +1,92 @@
+package substrate
+
+import (
+	"fmt"
+
+	"waferscale/internal/geom"
+)
+
+// Because every stamped reticle is identical, each one carries both the
+// chiplet bonding pads and the wafer-edge connector pads with their
+// fan-out wiring. Where chiplets are bonded the connector pads are
+// unwanted and a custom block-etch step removes them; the edge reticles
+// stay un-populated and keep theirs (paper Section VIII).
+
+// RegionUse says what a reticle position on the wafer is used for.
+type RegionUse int
+
+// The reticle uses.
+const (
+	// RegionArray reticles carry bonded chiplets; connector pads are
+	// block-etched away.
+	RegionArray RegionUse = iota
+	// RegionEdge reticles stay un-populated; their connector pads hook
+	// the array to the outside world.
+	RegionEdge
+)
+
+// String returns the region name.
+func (r RegionUse) String() string {
+	if r == RegionArray {
+		return "array(block-etched)"
+	}
+	return "edge(connectors)"
+}
+
+// WaferPlan places the tile array and the edge ring onto reticles.
+type WaferPlan struct {
+	Reticle ReticlePlan
+	ArrayX  int // tiles in X
+	ArrayY  int // tiles in Y
+}
+
+// EtchMap returns, for every reticle position covering the wafer (the
+// array exposures plus one ring of edge reticles), whether it is
+// block-etched array area or connector edge area.
+func (w WaferPlan) EtchMap() map[geom.Coord]RegionUse {
+	nx, ny := w.Reticle.ReticlesFor(w.ArrayX, w.ArrayY)
+	m := make(map[geom.Coord]RegionUse)
+	for y := -1; y <= ny; y++ {
+		for x := -1; x <= nx; x++ {
+			use := RegionArray
+			if x < 0 || y < 0 || x >= nx || y >= ny {
+				use = RegionEdge
+			}
+			m[geom.C(x, y)] = use
+		}
+	}
+	return m
+}
+
+// FanoutSpec sizes the escape wiring from the array edge to the wafer
+// connectors.
+type FanoutSpec struct {
+	SignalsPerEdgeTile int     // I/Os escaping per edge tile (JTAG, clocks, config)
+	EdgeTiles          int     // tiles on the relevant wafer edge
+	WiresPerMM         float64 // escape density (400/mm, two layers)
+	EdgeLengthMM       float64 // usable wafer edge length
+}
+
+// Validate checks the fan-out fits the edge escape budget — the check
+// that made the paper daisy-chain the DAPs instead of bringing out
+// 1792 test wires.
+func (f FanoutSpec) Validate() error {
+	need := f.SignalsPerEdgeTile * f.EdgeTiles
+	have := int(f.WiresPerMM * f.EdgeLengthMM)
+	if need > have {
+		return fmt.Errorf("substrate: fan-out needs %d wires but the edge escapes only %d (%.0f/mm over %.0f mm)",
+			need, have, f.WiresPerMM, f.EdgeLengthMM)
+	}
+	return nil
+}
+
+// ConnectorPads returns evenly spaced connector positions along the
+// west wafer edge for the given signal count, ready to be used as
+// fan-out net terminals.
+func (f FanoutSpec) ConnectorPads(count int, pitchUM float64) []geom.Point {
+	pads := make([]geom.Point, count)
+	for i := range pads {
+		pads[i] = geom.Pt(-2000, float64(i)*pitchUM)
+	}
+	return pads
+}

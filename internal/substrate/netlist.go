@@ -1,0 +1,76 @@
+package substrate
+
+import (
+	"fmt"
+
+	"waferscale/internal/geom"
+)
+
+// Netlist generators for the regular inter-chiplet wiring of the tile
+// array. Facing I/O columns of adjacent chiplets are pad-aligned by
+// construction, so every net is axis-aligned and jog-free routable.
+
+// TileGeometry places a tile's two chiplets on the substrate.
+type TileGeometry struct {
+	Origin     geom.Point // south-west corner of the tile, microns
+	ComputeW   float64    // compute chiplet width
+	ComputeH   float64    // compute chiplet height
+	MemoryH    float64    // memory chiplet height
+	GapUM      float64    // inter-chiplet spacing (100 um)
+	PadPitchUM float64    // escape pad pitch along the facing edges
+}
+
+// DefaultTileGeometry returns the prototype tile.
+func DefaultTileGeometry(origin geom.Point) TileGeometry {
+	return TileGeometry{
+		Origin:     origin,
+		ComputeW:   3150,
+		ComputeH:   2400,
+		MemoryH:    1100,
+		GapUM:      100,
+		PadPitchUM: 10,
+	}
+}
+
+// MemoryLinkNets generates n vertical nets between the compute
+// chiplet's north edge and the memory chiplet's south edge (the memory
+// controller buses). The facing pads share X coordinates, so every net
+// is a ~100 um vertical wire.
+func (t TileGeometry) MemoryLinkNets(prefix string, n int) ([]Net, error) {
+	maxPads := int(t.ComputeW / t.PadPitchUM)
+	if n > maxPads {
+		return nil, fmt.Errorf("substrate: %d memory-link nets exceed %d pad sites", n, maxPads)
+	}
+	topY := t.Origin.Y + t.ComputeH
+	nets := make([]Net, n)
+	for i := range nets {
+		x := t.Origin.X + (float64(i)+0.5)*t.PadPitchUM
+		nets[i] = Net{
+			Name: fmt.Sprintf("%s%04d", prefix, i),
+			A:    geom.Pt(x, topY),
+			B:    geom.Pt(x, topY+t.GapUM),
+		}
+	}
+	return nets, nil
+}
+
+// MeshLinkNets generates n horizontal nets between this tile's east
+// edge and the neighboring tile's west edge — one inter-tile network
+// link (400 wires in the prototype).
+func (t TileGeometry) MeshLinkNets(prefix string, n int, neighborOriginX float64) ([]Net, error) {
+	maxPads := int(t.ComputeH / t.PadPitchUM)
+	if n > maxPads {
+		return nil, fmt.Errorf("substrate: %d mesh-link nets exceed %d pad sites on the tile edge", n, maxPads)
+	}
+	eastX := t.Origin.X + t.ComputeW
+	nets := make([]Net, n)
+	for i := range nets {
+		y := t.Origin.Y + (float64(i)+0.5)*t.PadPitchUM
+		nets[i] = Net{
+			Name: fmt.Sprintf("%s%04d", prefix, i),
+			A:    geom.Pt(eastX, y),
+			B:    geom.Pt(neighborOriginX, y),
+		}
+	}
+	return nets, nil
+}

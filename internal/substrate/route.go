@@ -1,0 +1,180 @@
+package substrate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"waferscale/internal/geom"
+)
+
+// Net is a two-terminal inter-chiplet connection to route.
+type Net struct {
+	Name string
+	A, B geom.Point // pad centers on the substrate, microns
+}
+
+// Segment is one routed straight wire.
+type Segment struct {
+	Net     string
+	Layer   Layer
+	A, B    geom.Point
+	WidthUM float64
+	Seam    bool // crosses a reticle boundary (fat geometry)
+}
+
+// Horizontal reports the segment orientation.
+func (s Segment) Horizontal() bool { return s.A.Y == s.B.Y }
+
+// Length returns the wire length in microns.
+func (s Segment) Length() float64 { return s.A.Manhattan(s.B) }
+
+// Router is the paper's lightweight jog-free router: each net becomes a
+// single horizontal or vertical segment on the layer matching its
+// orientation, snapped to the routing track grid. Nets whose terminals
+// are not axis-aligned (within half a pitch) would need a jog and are
+// rejected — the chiplet pad rings are designed so this never happens
+// for inter-chiplet links.
+type Router struct {
+	Rules   TechRules
+	Reticle ReticlePlan
+
+	segments []Segment
+	// occupancy: (layer, track) -> sorted, non-overlapping extents.
+	tracks map[trackKey][]extent
+}
+
+type trackKey struct {
+	layer Layer
+	track int
+}
+
+type extent struct {
+	lo, hi float64
+	net    string
+}
+
+// NewRouter returns an empty router.
+func NewRouter(rules TechRules, reticle ReticlePlan) (*Router, error) {
+	if err := rules.Validate(); err != nil {
+		return nil, err
+	}
+	return &Router{
+		Rules:   rules,
+		Reticle: reticle,
+		tracks:  make(map[trackKey][]extent),
+	}, nil
+}
+
+// Segments returns the routed wires.
+func (r *Router) Segments() []Segment { return r.segments }
+
+// trackIndex snaps a coordinate to the track grid.
+func (r *Router) trackIndex(coord float64) int {
+	return int(math.Round(coord / r.Rules.WirePitchUM))
+}
+
+// Route routes one net jog-free. It returns an error if the terminals
+// are not axis-aligned, the wire would exceed the I/O driver's reach,
+// or the track is already occupied over the needed extent.
+func (r *Router) Route(n Net) error {
+	dx := math.Abs(n.A.X - n.B.X)
+	dy := math.Abs(n.A.Y - n.B.Y)
+	tol := r.Rules.WirePitchUM / 2
+	var horizontal bool
+	switch {
+	case dy <= tol && dx > tol:
+		horizontal = true
+	case dx <= tol && dy > tol:
+		horizontal = false
+	case dx <= tol && dy <= tol:
+		return fmt.Errorf("substrate: net %s terminals coincide", n.Name)
+	default:
+		return fmt.Errorf("substrate: net %s needs a jog (dx=%.1f um, dy=%.1f um); jog-free routing requires axis-aligned pads",
+			n.Name, dx, dy)
+	}
+	length := dx + dy
+	if length > r.Rules.MaxSignalLenUM {
+		return fmt.Errorf("substrate: net %s is %.0f um, beyond the %.0f um I/O driver reach",
+			n.Name, length, r.Rules.MaxSignalLenUM)
+	}
+
+	layer := LayerSignalV
+	var track int
+	var lo, hi float64
+	if horizontal {
+		layer = LayerSignalH
+		track = r.trackIndex((n.A.Y + n.B.Y) / 2)
+		lo, hi = math.Min(n.A.X, n.B.X), math.Max(n.A.X, n.B.X)
+	} else {
+		track = r.trackIndex((n.A.X + n.B.X) / 2)
+		lo, hi = math.Min(n.A.Y, n.B.Y), math.Max(n.A.Y, n.B.Y)
+	}
+
+	key := trackKey{layer, track}
+	for _, e := range r.tracks[key] {
+		if lo < e.hi && e.lo < hi {
+			return fmt.Errorf("substrate: net %s conflicts with net %s on %v track %d",
+				n.Name, e.net, layer, track)
+		}
+	}
+
+	seam := r.Reticle.CrossesSeam(n.A, n.B)
+	width := r.Rules.WireWidthUM
+	if seam {
+		width = r.Rules.SeamWidthUM
+	}
+	seg := Segment{Net: n.Name, Layer: layer, A: n.A, B: n.B, WidthUM: width, Seam: seam}
+	// Snap endpoints onto the track line so the stored geometry is
+	// exactly jog-free.
+	t := float64(track) * r.Rules.WirePitchUM
+	if horizontal {
+		seg.A.Y, seg.B.Y = t, t
+	} else {
+		seg.A.X, seg.B.X = t, t
+	}
+	r.segments = append(r.segments, seg)
+	exts := append(r.tracks[key], extent{lo: lo, hi: hi, net: n.Name})
+	sort.Slice(exts, func(i, j int) bool { return exts[i].lo < exts[j].lo })
+	r.tracks[key] = exts
+	return nil
+}
+
+// RouteAll routes a batch, collecting failures; it returns the number
+// routed and the first few errors.
+func (r *Router) RouteAll(nets []Net) (routed int, errs []error) {
+	for _, n := range nets {
+		if err := r.Route(n); err != nil {
+			if len(errs) < 10 {
+				errs = append(errs, err)
+			}
+			continue
+		}
+		routed++
+	}
+	return routed, errs
+}
+
+// Utilization summarizes routing results.
+type Utilization struct {
+	Nets          int
+	TotalWireUM   float64
+	SeamCrossings int
+	TracksUsed    int
+	ByLayer       map[Layer]int
+}
+
+// Utilization computes the summary.
+func (r *Router) Utilization() Utilization {
+	u := Utilization{ByLayer: map[Layer]int{}}
+	for _, s := range r.segments {
+		u.Nets++
+		u.TotalWireUM += s.Length()
+		if s.Seam {
+			u.SeamCrossings++
+		}
+		u.ByLayer[s.Layer]++
+	}
+	u.TracksUsed = len(r.tracks)
+	return u
+}

@@ -1,0 +1,139 @@
+// Package substrate models the passive Si-IF waferscale substrate and
+// the lightweight custom router the paper built for it (Section VIII).
+// Commercial P&R tools blow up on a >15,000 mm^2 four-layer design, so
+// the prototype uses a jog-free router: every inter-chiplet connection
+// is a single straight wire segment — sufficient because facing I/O
+// columns of adjacent chiplets are pad-aligned across the ~100 um gap.
+//
+// The substrate stack is four metal layers: the bottom two are dense
+// slotted power planes (VDD and GND, handled by internal/pdn); the top
+// two are sparse signal layers, one for horizontal and one for vertical
+// segments. Because the wafer is larger than a reticle, the substrate
+// is fabricated by step-and-repeat stitching of identical 12x6-tile
+// reticles; wires crossing a reticle seam are made fatter (2 um -> 3 um
+// width at constant 5 um pitch) to tolerate stitching misalignment.
+package substrate
+
+import (
+	"fmt"
+
+	"waferscale/internal/geom"
+)
+
+// Layer identifies a metal layer of the Si-IF stack, bottom-up.
+type Layer int
+
+// The four-layer stack.
+const (
+	LayerGND     Layer = iota // dense slotted ground plane
+	LayerVDD                  // dense slotted power plane
+	LayerSignalH              // signal routing, horizontal segments
+	LayerSignalV              // signal routing, vertical segments
+)
+
+// String returns the layer name.
+func (l Layer) String() string {
+	switch l {
+	case LayerGND:
+		return "M1-GND"
+	case LayerVDD:
+		return "M2-VDD"
+	case LayerSignalH:
+		return "M3-sigH"
+	case LayerSignalV:
+		return "M4-sigV"
+	}
+	return fmt.Sprintf("Layer(%d)", int(l))
+}
+
+// TechRules are the Si-IF process rules the paper quotes.
+type TechRules struct {
+	WirePitchUM     float64 // signal routing pitch (5 um used; 4 um min offered)
+	WireWidthUM     float64 // in-reticle wire width (2 um)
+	WireSpacingUM   float64 // in-reticle spacing (3 um)
+	SeamWidthUM     float64 // width at reticle seams (3 um)
+	SeamSpacingUM   float64 // spacing at seams (2 um)
+	MaxLayerThickUM float64 // max metal thickness (2 um)
+	MaxSignalLenUM  float64 // longest link the I/O driver supports (500 um at 1 GHz)
+}
+
+// DefaultRules returns the prototype's rules.
+func DefaultRules() TechRules {
+	return TechRules{
+		WirePitchUM:     5,
+		WireWidthUM:     2,
+		WireSpacingUM:   3,
+		SeamWidthUM:     3,
+		SeamSpacingUM:   2,
+		MaxLayerThickUM: 2,
+		MaxSignalLenUM:  500,
+	}
+}
+
+// Validate checks rule consistency: pitch must hold for both the
+// in-reticle and the seam width/spacing combination (the paper keeps
+// the pitch constant while trading width against spacing at seams).
+func (r TechRules) Validate() error {
+	if r.WirePitchUM <= 0 {
+		return fmt.Errorf("substrate: non-positive pitch")
+	}
+	if r.WireWidthUM+r.WireSpacingUM != r.WirePitchUM {
+		return fmt.Errorf("substrate: in-reticle width %g + spacing %g != pitch %g",
+			r.WireWidthUM, r.WireSpacingUM, r.WirePitchUM)
+	}
+	if r.SeamWidthUM+r.SeamSpacingUM != r.WirePitchUM {
+		return fmt.Errorf("substrate: seam width %g + spacing %g != pitch %g",
+			r.SeamWidthUM, r.SeamSpacingUM, r.WirePitchUM)
+	}
+	if r.SeamWidthUM <= r.WireWidthUM {
+		return fmt.Errorf("substrate: seam wires (%g um) must be fatter than in-reticle wires (%g um)",
+			r.SeamWidthUM, r.WireWidthUM)
+	}
+	return nil
+}
+
+// ReticlePlan describes the step-and-repeat tiling of the wafer.
+type ReticlePlan struct {
+	TilesX, TilesY int     // tiles per reticle (paper: 12x6)
+	TileWUM        float64 // tile pitch in X, microns
+	TileHUM        float64 // tile pitch in Y, microns
+}
+
+// DefaultReticle returns the prototype's 12x6-tile reticle with the
+// compute+memory tile footprint.
+func DefaultReticle() ReticlePlan {
+	return ReticlePlan{TilesX: 12, TilesY: 6, TileWUM: 3250, TileHUM: 3700}
+}
+
+// WidthUM and HeightUM give the reticle dimensions.
+func (r ReticlePlan) WidthUM() float64  { return float64(r.TilesX) * r.TileWUM }
+func (r ReticlePlan) HeightUM() float64 { return float64(r.TilesY) * r.TileHUM }
+
+// ReticleOf returns the reticle grid position containing a point.
+func (r ReticlePlan) ReticleOf(p geom.Point) geom.Coord {
+	return geom.C(int(floorDiv(p.X, r.WidthUM())), int(floorDiv(p.Y, r.HeightUM())))
+}
+
+// CrossesSeam reports whether the straight segment from a to b crosses
+// a reticle boundary — such wires must use the fat seam geometry.
+func (r ReticlePlan) CrossesSeam(a, b geom.Point) bool {
+	return r.ReticleOf(a) != r.ReticleOf(b)
+}
+
+// ReticlesFor returns how many reticle steps tile an array of the given
+// tile dimensions (rounded up) — e.g. the 32x32 array needs 3x6 = 18
+// exposures plus the edge reticles.
+func (r ReticlePlan) ReticlesFor(tilesX, tilesY int) (nx, ny int) {
+	nx = (tilesX + r.TilesX - 1) / r.TilesX
+	ny = (tilesY + r.TilesY - 1) / r.TilesY
+	return nx, ny
+}
+
+func floorDiv(a, b float64) float64 {
+	q := a / b
+	f := float64(int(q))
+	if q < 0 && q != f {
+		f--
+	}
+	return f
+}

