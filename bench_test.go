@@ -504,6 +504,32 @@ func boolMetric(ok bool) float64 {
 	return 0
 }
 
+// BenchmarkChaosBFSSurvival runs the runtime analogue of the Fig. 6
+// Monte Carlo: BFS on the live machine while seeded tile kills land
+// mid-run, reporting the completion and verification rates the
+// graceful-degradation layer sustains.
+func BenchmarkChaosBFSSurvival(b *testing.B) {
+	d := core.NewDesign()
+	cfg := core.DefaultChaosConfig()
+	cfg.Side, cfg.Workers, cfg.GraphSide = 4, 8, 6
+	cfg.Trials = 2
+	cfg.Kills = []int{0, 1}
+	cfg.MaxCycles = 80_000
+	var points []core.ChaosPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = d.RunChaos(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	healthy, killed := points[0], points[len(points)-1]
+	b.ReportMetric(healthy.VerifiedRate()*100, "verified%@0kills")
+	b.ReportMetric(killed.CompletedRate()*100, "completed%@1kill")
+	b.ReportMetric(killed.MeanRetries, "retries@1kill")
+	b.ReportMetric(killed.MeanLostKiB, "lostKiB@1kill")
+}
+
 // BenchmarkDSEArraySweep runs the scale-up sweep (conclusion:
 // "developing design methods for higher-power waferscale systems").
 func BenchmarkDSEArraySweep(b *testing.B) {

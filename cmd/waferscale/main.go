@@ -15,6 +15,7 @@
 //	waferscale jtag                      Section VII load-time headline
 //	waferscale route                     route + DRC a tile pair on the substrate
 //	waferscale dse                       design-space sweeps
+//	waferscale chaos [-kills 0,1,2,4,8]  runtime fault-injection survival curve
 package main
 
 import (
@@ -22,6 +23,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"waferscale/internal/arch"
@@ -73,6 +76,8 @@ func main() {
 		err = cmdValidate(args)
 	case "pareto":
 		err = cmdPareto(args)
+	case "chaos":
+		err = cmdChaos(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -105,6 +110,7 @@ commands:
   place      optimize clock-generator placement on a fault map
   validate   run BFS on a reduced simulated machine vs a host oracle
   pareto     explore the (throughput, power, yield) design space
+  chaos      BFS survival curve under runtime fault injection
 
 most commands accept -config <file.json> to evaluate a custom design`)
 }
@@ -493,6 +499,51 @@ func cmdValidate(args []string) error {
 	if !res.Verified {
 		return fmt.Errorf("validation diverged from the host reference")
 	}
+	return nil
+}
+
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	side := fs.Int("side", 8, "reduced machine array side")
+	workers := fs.Int("workers", 16, "BFS worker cores")
+	trials := fs.Int("trials", 8, "trials per kill count")
+	seed := fs.Int64("seed", 2021, "master seed (per-trial seeds are derived)")
+	kills := fs.String("kills", "0,1,2,4,8", "comma-separated tile kill counts to sweep")
+	from := fs.Int64("kill-from", 500, "earliest kill cycle")
+	to := fs.Int64("kill-to", 5000, "latest kill cycle")
+	maxCycles := fs.Int64("max-cycles", 400_000, "per-trial cycle budget (never-hang bound)")
+	graphSide := fs.Int("graph", 8, "BFS mesh graph side")
+	cfgPath := fs.String("config", "", "JSON config file overriding the prototype design")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := loadDesign(*cfgPath)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultChaosConfig()
+	cfg.Side = *side
+	cfg.Workers = *workers
+	cfg.Trials = *trials
+	cfg.Seed = *seed
+	cfg.KillWindow = [2]int64{*from, *to}
+	cfg.MaxCycles = *maxCycles
+	cfg.GraphSide = *graphSide
+	cfg.Kills = cfg.Kills[:0]
+	for _, f := range strings.Split(*kills, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return fmt.Errorf("bad -kills entry %q: %v", f, err)
+		}
+		cfg.Kills = append(cfg.Kills, k)
+	}
+	points, err := d.RunChaos(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("runtime survival curve: %d-worker BFS on %dx%d, tiles killed mid-run in cycles [%d,%d] (%d trials each)\n",
+		cfg.Workers, cfg.Side, cfg.Side, *from, *to, cfg.Trials)
+	fmt.Print(core.FormatChaos(points))
 	return nil
 }
 

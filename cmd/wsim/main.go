@@ -6,6 +6,8 @@
 // Usage:
 //
 //	wsim -workload bfs -side 4 -vertices 64 -workers 16
+//	wsim -workload bfs -side 8 -kill "1,0" -fault-at-cycle 2000
+//	wsim -workload bfs -side 8 -faults 3 -fault-seed 7
 package main
 
 import (
@@ -13,9 +15,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 
 	"waferscale/internal/arch"
 	"waferscale/internal/fault"
+	"waferscale/internal/geom"
+	"waferscale/internal/inject"
 	"waferscale/internal/sim"
 )
 
@@ -30,15 +36,66 @@ func main() {
 	seed := flag.Int64("seed", 2021, "graph seed")
 	maxCycles := flag.Int64("max-cycles", 50_000_000, "simulation budget")
 	profile := flag.Bool("profile", false, "print the machine execution profile")
+	faults := flag.Int("faults", 0, "random tiles to kill mid-run")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for random mid-run kills")
+	kill := flag.String("kill", "", `explicit tiles to kill, e.g. "1,0;2,3"`)
+	faultAt := flag.Int64("fault-at-cycle", 1000, "cycle the kills land at")
 	flag.Parse()
 
-	if err := run(*workload, *side, *cores, *vertices, *edges, *workers, *src, *seed, *maxCycles, *profile); err != nil {
+	if err := run(*workload, *side, *cores, *vertices, *edges, *workers, *src, *seed, *maxCycles, *profile,
+		*faults, *faultSeed, *kill, *faultAt); err != nil {
 		fmt.Fprintf(os.Stderr, "wsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload string, side, cores, vertices, edges, workers, src int, seed, maxCycles int64, profile bool) error {
+// parseCoords parses a semicolon-separated coordinate list like "1,0;2,3".
+func parseCoords(s string) ([]geom.Coord, error) {
+	var out []geom.Coord
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		xy := strings.Split(part, ",")
+		if len(xy) != 2 {
+			return nil, fmt.Errorf("bad coordinate %q (want x,y)", part)
+		}
+		x, errX := strconv.Atoi(strings.TrimSpace(xy[0]))
+		y, errY := strconv.Atoi(strings.TrimSpace(xy[1]))
+		if errX != nil || errY != nil {
+			return nil, fmt.Errorf("bad coordinate %q (want x,y)", part)
+		}
+		out = append(out, geom.C(x, y))
+	}
+	return out, nil
+}
+
+// buildSchedule assembles the fault schedule requested on the command
+// line: explicit -kill coordinates land at -fault-at-cycle; -faults N
+// draws N extra victims with -fault-seed.
+func buildSchedule(grid geom.Grid, faults int, faultSeed int64, kill string, at int64) (*inject.Schedule, error) {
+	sched := inject.NewSchedule()
+	coords, err := parseCoords(kill)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range coords {
+		sched.KillTileAt(at, c)
+	}
+	if faults > 0 {
+		for _, e := range inject.Random(grid, faults, [2]int64{at, at}, faultSeed, nil).Events() {
+			sched.Add(e)
+		}
+	}
+	if err := sched.Validate(grid); err != nil {
+		return nil, err
+	}
+	return sched, nil
+}
+
+func run(workload string, side, cores, vertices, edges, workers, src int, seed, maxCycles int64, profile bool,
+	faults int, faultSeed int64, kill string, faultAt int64) error {
 	cfg := arch.DefaultConfig()
 	cfg.TilesX, cfg.TilesY = side, side
 	cfg.CoresPerTile = cores
@@ -50,6 +107,16 @@ func run(workload string, side, cores, vertices, edges, workers, src int, seed, 
 	if err != nil {
 		return err
 	}
+	sched, err := buildSchedule(cfg.Grid(), faults, faultSeed, kill, faultAt)
+	if err != nil {
+		return err
+	}
+	if sched.Len() > 0 {
+		if err := m.AttachSchedule(sched); err != nil {
+			return err
+		}
+		fmt.Printf("fault schedule: %d events\n%s", sched.Len(), sched)
+	}
 	var g *sim.Graph
 	switch workload {
 	case "bfs":
@@ -57,15 +124,19 @@ func run(workload string, side, cores, vertices, edges, workers, src int, seed, 
 	case "sssp":
 		g = sim.RandomGraph(vertices, edges, 9, seed)
 	case "matvec":
-		return runMatVec(m, vertices, workers, seed, maxCycles, profile)
+		return reportDegraded(m, runMatVec(m, vertices, workers, seed, maxCycles, profile))
 	case "hist":
-		return runHistogram(m, vertices*8, workers, seed, maxCycles, profile)
+		return reportDegraded(m, runHistogram(m, vertices*8, workers, seed, maxCycles, profile))
 	default:
 		return fmt.Errorf("unknown workload %q (bfs|sssp|matvec|hist)", workload)
 	}
 	ws := sim.AllWorkers(m, workers)
 	fmt.Printf("%s: %d vertices, %d edges, %d workers on a %dx%d machine (%d cores)\n",
 		workload, g.N, g.M(), len(ws), side, side, cfg.TotalCores())
+
+	if sched.Len() > 0 {
+		return runDegraded(m, g, src, ws, maxCycles, profile)
+	}
 
 	res, err := sim.RunSSSP(m, g, src, ws, maxCycles)
 	if err != nil {
@@ -92,6 +163,52 @@ func run(workload string, side, cores, vertices, edges, workers, src int, seed, 
 		m.WriteProfile(os.Stdout, 8)
 	}
 	return nil
+}
+
+// runDegraded drives BFS/SSSP through the fault-tolerant runner: the
+// run either completes (possibly via retries and relay detours) or
+// terminates at the cycle budget with a structured degradation report —
+// it never hangs and never panics.
+func runDegraded(m *sim.Machine, g *sim.Graph, src int, ws []sim.WorkerRef, maxCycles int64, profile bool) error {
+	res, err := sim.RunSSSPUnderFaults(m, g, src, ws, maxCycles)
+	if err != nil {
+		return err
+	}
+	want := g.ReferenceSSSP(src)
+	mismatches := 0
+	for v := range want {
+		if res.Dist[v] != want[v] {
+			mismatches++
+		}
+	}
+	fmt.Printf("cycles               %d\n", res.Cycles)
+	fmt.Printf("completed            %v\n", res.Completed)
+	fmt.Printf("reference mismatches %d/%d (%d unreadable)\n", mismatches, g.N, res.ReadErrors)
+	if res.RunErr != nil {
+		fmt.Printf("run terminated: %v\n", res.RunErr)
+	}
+	if rep := m.Degradation(); rep.Degraded() {
+		fmt.Print(rep.String())
+	} else {
+		fmt.Println("no degradation: faults did not disturb the run")
+	}
+	if res.Completed && mismatches == 0 && res.ReadErrors == 0 {
+		fmt.Println("survived injected faults, verified against host reference: OK")
+	}
+	if profile {
+		fmt.Println()
+		m.WriteProfile(os.Stdout, 8)
+	}
+	return nil
+}
+
+// reportDegraded appends the degradation report to a workload whose
+// runner has no fault-tolerant variant, then passes the error through.
+func reportDegraded(m *sim.Machine, err error) error {
+	if rep := m.Degradation(); rep.Degraded() {
+		fmt.Print(rep.String())
+	}
+	return err
 }
 
 func runMatVec(m *sim.Machine, n, workers int, seed, maxCycles int64, profile bool) error {

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"waferscale/internal/sim"
+
+	"waferscale/internal/inject"
+)
+
+// Chaos Monte Carlo: the runtime analogue of the Fig. 6 static yield
+// sweep. Where fault.MonteCarlo asks "what fraction of randomly-faulty
+// wafers is still connected?", RunChaos asks "what fraction of live
+// BFS runs survives tiles dying mid-run?" — it executes the kernel on
+// the functional simulator under seeded inject.Schedules and reports
+// completion (the machine quiesced within budget) and verification
+// (the answer still matched the host oracle) rates per kill count.
+
+// ChaosConfig parametrizes a chaos sweep.
+type ChaosConfig struct {
+	Side       int      // reduced machine array side (Side x Side tiles)
+	Workers    int      // BFS worker cores, spread across tiles
+	Trials     int      // runs per kill count
+	Seed       int64    // master seed; trials derive decorrelated seeds
+	Kills      []int    // tile kill counts to sweep
+	KillWindow [2]int64 // cycle window kills are drawn from
+	MaxCycles  int64    // per-run cycle budget (the never-hang bound)
+	GraphSide  int      // workload is BFS on a GraphSide x GraphSide mesh
+}
+
+// DefaultChaosConfig returns the standard sweep: an 8x8 machine running
+// 16-worker BFS with 0..8 kills injected early in the run.
+func DefaultChaosConfig() ChaosConfig {
+	return ChaosConfig{
+		Side:       8,
+		Workers:    16,
+		Trials:     8,
+		Seed:       2021,
+		Kills:      []int{0, 1, 2, 4, 8},
+		KillWindow: [2]int64{500, 5000},
+		MaxCycles:  400_000,
+		GraphSide:  8,
+	}
+}
+
+// Validate checks the configuration.
+func (c ChaosConfig) Validate() error {
+	if c.Side < 2 {
+		return fmt.Errorf("core: chaos side %d must be >= 2", c.Side)
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("core: chaos needs >= 1 worker")
+	}
+	if c.Trials < 1 {
+		return fmt.Errorf("core: chaos needs >= 1 trial")
+	}
+	if c.MaxCycles < 1 {
+		return fmt.Errorf("core: chaos needs a positive cycle budget")
+	}
+	if c.GraphSide < 2 {
+		return fmt.Errorf("core: chaos graph side %d must be >= 2", c.GraphSide)
+	}
+	for _, k := range c.Kills {
+		if k < 0 || k > c.Side*c.Side {
+			return fmt.Errorf("core: kill count %d outside 0..%d", k, c.Side*c.Side)
+		}
+	}
+	return nil
+}
+
+// ChaosPoint is one row of the survival curve.
+type ChaosPoint struct {
+	Kills     int
+	Trials    int
+	Completed int // runs that quiesced within the cycle budget
+	Verified  int // runs whose BFS output still matched the oracle
+
+	// Mean per-trial degradation work.
+	MeanRetries float64
+	MeanRelays  float64
+	MeanLostKiB float64
+	MeanCycles  float64
+}
+
+// CompletedRate returns the fraction of trials that quiesced.
+func (p ChaosPoint) CompletedRate() float64 {
+	return float64(p.Completed) / float64(p.Trials)
+}
+
+// VerifiedRate returns the fraction of trials with a correct answer.
+func (p ChaosPoint) VerifiedRate() float64 {
+	return float64(p.Verified) / float64(p.Trials)
+}
+
+type chaosTrial struct {
+	completed bool
+	verified  bool
+	retries   int64
+	relays    int64
+	lostBytes int64
+	cycles    int64
+}
+
+// RunChaos executes the sweep and returns one point per kill count.
+// Trials run in parallel on independent machines; the outcome is
+// deterministic for a fixed config (per-trial seeds are derived, not
+// drawn from shared state).
+func (d *Design) RunChaos(cfg ChaosConfig) ([]ChaosPoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := sim.GridGraph(cfg.GraphSide, cfg.GraphSide).Unweighted()
+	want := g.ReferenceSSSP(0)
+
+	points := make([]ChaosPoint, 0, len(cfg.Kills))
+	for _, kills := range cfg.Kills {
+		trials := make([]chaosTrial, cfg.Trials)
+		var wg sync.WaitGroup
+		next := make(chan int)
+		go func() {
+			for i := 0; i < cfg.Trials; i++ {
+				next <- i
+			}
+			close(next)
+		}()
+		var firstErr error
+		var errMu sync.Mutex
+		workers := runtime.GOMAXPROCS(0)
+		if workers > cfg.Trials {
+			workers = cfg.Trials
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					t, err := d.runChaosTrial(cfg, g, want, kills, i)
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						continue
+					}
+					trials[i] = t
+				}
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+
+		p := ChaosPoint{Kills: kills, Trials: cfg.Trials}
+		for _, t := range trials {
+			if t.completed {
+				p.Completed++
+			}
+			if t.verified {
+				p.Verified++
+			}
+			p.MeanRetries += float64(t.retries)
+			p.MeanRelays += float64(t.relays)
+			p.MeanLostKiB += float64(t.lostBytes) / 1024
+			p.MeanCycles += float64(t.cycles)
+		}
+		n := float64(cfg.Trials)
+		p.MeanRetries /= n
+		p.MeanRelays /= n
+		p.MeanLostKiB /= n
+		p.MeanCycles /= n
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+func (d *Design) runChaosTrial(cfg ChaosConfig, g *sim.Graph, want []int32, kills, trial int) (chaosTrial, error) {
+	m, err := d.BuildMachine(cfg.Side, nil)
+	if err != nil {
+		return chaosTrial{}, err
+	}
+	sched := inject.Random(m.Cfg.Grid(), kills, cfg.KillWindow, chaosTrialSeed(cfg.Seed, kills, trial), nil)
+	if err := m.AttachSchedule(sched); err != nil {
+		return chaosTrial{}, err
+	}
+	ws := sim.SpreadWorkers(m, cfg.Workers)
+	res, err := sim.RunSSSPUnderFaults(m, g, 0, ws, cfg.MaxCycles)
+	if err != nil {
+		return chaosTrial{}, err
+	}
+	t := chaosTrial{
+		completed: res.Completed,
+		retries:   res.Report.RetriedOps,
+		relays:    res.Report.RelayedRequests + res.Report.RelayedResponses,
+		lostBytes: res.Report.LostSharedBytes,
+		cycles:    res.Cycles,
+	}
+	if res.Completed && res.ReadErrors == 0 && len(m.Faults()) == 0 {
+		t.verified = true
+		for v := range want {
+			if res.Dist[v] != want[v] {
+				t.verified = false
+				break
+			}
+		}
+	}
+	return t, nil
+}
+
+// chaosTrialSeed mirrors fault.MonteCarlo's splitmix64-style per-trial
+// seed derivation so trials are decorrelated and replayable.
+func chaosTrialSeed(base int64, kills, trial int) int64 {
+	z := uint64(base) ^ uint64(kills)<<32 ^ uint64(trial)
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// FormatChaos renders the survival curve as an aligned text table.
+func FormatChaos(points []ChaosPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s  %9s  %9s  %9s  %9s  %9s  %11s\n",
+		"kills", "completed", "verified", "retries", "relays", "lostKiB", "meanCycles")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%6d  %8.1f%%  %8.1f%%  %9.1f  %9.1f  %9.1f  %11.0f\n",
+			p.Kills, p.CompletedRate()*100, p.VerifiedRate()*100,
+			p.MeanRetries, p.MeanRelays, p.MeanLostKiB, p.MeanCycles)
+	}
+	return b.String()
+}

@@ -54,6 +54,18 @@ func NewKernel(fm *fault.Map) *Kernel {
 // Analyzer exposes the underlying path oracle.
 func (k *Kernel) Analyzer() *Analyzer { return k.an }
 
+// Refresh re-plans against the current state of the fault map: the
+// path oracle's prefix sums are rebuilt and every memoized pair
+// decision is discarded. Call it after marking tiles faulty at runtime
+// — this is the kernel relearning the network after a mid-run failure
+// (the paper's fault map is written once after assembly; a live system
+// updates it whenever the wafer degrades). Network balancing state is
+// kept so re-planned pairs continue to alternate.
+func (k *Kernel) Refresh() {
+	k.an = NewAnalyzer(k.an.fm)
+	k.assigned = make(map[[2]geom.Coord]Decision)
+}
+
 // Decide returns (and memoizes) the routing decision for src -> dst.
 func (k *Kernel) Decide(src, dst geom.Coord) (Decision, error) {
 	if err := validatePair(k.an.grid, src, dst); err != nil {

@@ -79,10 +79,17 @@ func (c SimConfig) Validate() error {
 type SimStats struct {
 	Injected     int
 	Delivered    int
-	Dropped      int // packets that hit a faulty tile (kernel bug if >0)
+	Dropped      int // packets lost to a faulty tile (static map or runtime kill)
 	TotalLatency int64
 	TotalHops    int
 	MaxLatency   int64
+
+	// Runtime-fault accounting (chaos runs).
+	DroppedQueued int // packets destroyed inside a router killed at runtime
+	RoutersKilled int // KillRouter calls that removed a live router
+	Forwarded     int // packets re-injected at a relay tile (kernel detours)
+	Timeouts      int // remote-op deadlines expired (reported by the machine)
+	BitErrors     int // payloads corrupted by injected transient errors
 }
 
 // AvgLatency returns mean delivery latency in cycles.

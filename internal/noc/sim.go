@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"sort"
 
 	"waferscale/internal/fault"
 	"waferscale/internal/geom"
@@ -58,6 +59,11 @@ type Sim struct {
 	nextID  uint64
 	stats   SimStats
 	linkUse [2][]int64 // per network: traversals of (tile, direction) links
+	// linkDown marks out-of-service (tile, direction) links, shared by
+	// both physical networks (a flapped inter-chiplet channel takes the
+	// buses of both meshes with it). Packets queued behind a down link
+	// wait; they are not lost.
+	linkDown []bool
 
 	// OnDeliver, when set, observes every delivered packet (after stats
 	// are updated). Used by the functional simulator to implement the
@@ -73,11 +79,18 @@ type Sim struct {
 // only on healthy tiles; a packet forwarded into a faulty tile is
 // dropped and counted (the kernel must prevent this by construction).
 func NewSim(fm *fault.Map, cfg SimConfig) (*Sim, error) {
+	if fm == nil {
+		return nil, fmt.Errorf("noc: nil fault map")
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	g := fm.Grid()
+	if g.W <= 0 || g.H <= 0 {
+		return nil, fmt.Errorf("noc: fault map has empty grid %v (construct with fault.NewMap)", g)
+	}
 	s := &Sim{grid: g, fm: fm, cfg: cfg, Policy: DoRPolicy{}}
+	s.linkDown = make([]bool, g.Size()*geom.NumDirs)
 	for n := range s.linkUse {
 		s.linkUse[n] = make([]int64, g.Size()*geom.NumDirs)
 	}
@@ -128,6 +141,117 @@ func (s *Sim) Inject(net Network, src, dst geom.Coord, kind Kind, tag uint32, pa
 
 // ErrBackpressure reports a full injection FIFO.
 var ErrBackpressure = fmt.Errorf("noc: injection FIFO full")
+
+// Forward re-injects a delivered packet at a relay tile toward a new
+// destination, preserving its identity (ID, Src, Tag, Payload,
+// InjectedAt, accumulated Hops). This is the kernel's Section VI
+// relay workaround exercised live: system software on the relay tile
+// receives the packet at its local port and sends it on the next leg.
+// The response still names the original Src, so the final destination
+// answers the requester directly.
+func (s *Sim) Forward(net Network, at, newDst geom.Coord, p Packet) error {
+	if err := validatePair(s.grid, at, newDst); err != nil {
+		return err
+	}
+	if s.fm.Faulty(at) {
+		return fmt.Errorf("noc: cannot forward from faulty tile %v", at)
+	}
+	r := s.nets[net].routers[s.grid.Index(at)]
+	if r == nil {
+		return fmt.Errorf("noc: no router at relay tile %v", at)
+	}
+	if len(r.in[portLocal]) >= s.cfg.FIFODepth {
+		return ErrBackpressure
+	}
+	p.Net = net
+	p.Dst = newDst
+	r.in[portLocal] = append(r.in[portLocal], p)
+	s.stats.Forwarded++
+	return nil
+}
+
+// KillRouter removes the tile's router from both networks between
+// cycles, modelling a tile dying at runtime. Packets queued inside the
+// dead router are destroyed (counted in Dropped and DroppedQueued);
+// packets already in flight toward it are dropped on arrival, exactly
+// like flights into a construction-time faulty tile. In-flight state
+// elsewhere is untouched. Killing an already-dead or out-of-grid tile
+// is a no-op. It returns the number of queued packets destroyed.
+func (s *Sim) KillRouter(c geom.Coord) int {
+	if !s.grid.In(c) {
+		return 0
+	}
+	i := s.grid.Index(c)
+	dropped := 0
+	killed := false
+	for _, mn := range s.nets {
+		r := mn.routers[i]
+		if r == nil {
+			continue
+		}
+		killed = true
+		for p := 0; p < numPorts; p++ {
+			dropped += len(r.in[p])
+		}
+		mn.routers[i] = nil
+	}
+	if killed {
+		s.stats.RoutersKilled++
+		s.stats.Dropped += dropped
+		s.stats.DroppedQueued += dropped
+	}
+	return dropped
+}
+
+// SetLinkDown marks the inter-chiplet link at (tile, dir) out of (or
+// back in) service on both physical networks. Both endpoints of the
+// link are updated, so traffic is blocked in either direction. Down
+// links exert backpressure: the switch allocator withholds grants over
+// them and packets wait in the upstream FIFOs.
+func (s *Sim) SetLinkDown(c geom.Coord, d geom.Dir, down bool) {
+	if !s.grid.In(c) {
+		return
+	}
+	s.linkDown[s.grid.Index(c)*geom.NumDirs+int(d)] = down
+	if far := c.Step(d); s.grid.In(far) {
+		s.linkDown[s.grid.Index(far)*geom.NumDirs+int(d.Opposite())] = down
+	}
+}
+
+// LinkIsDown reports whether the link at (tile, dir) is out of service.
+func (s *Sim) LinkIsDown(c geom.Coord, d geom.Dir) bool {
+	return s.grid.In(c) && s.linkDown[s.grid.Index(c)*geom.NumDirs+int(d)]
+}
+
+// CorruptPayload XORs mask into the payload of the first packet found
+// buffered at tile c (scanning networks, then ports, FIFO heads first)
+// — a deterministic model of a transient link bit error. It reports
+// whether a packet was hit; false means the error struck an idle
+// buffer and is harmless.
+func (s *Sim) CorruptPayload(c geom.Coord, mask uint64) bool {
+	if !s.grid.In(c) || mask == 0 {
+		return false
+	}
+	i := s.grid.Index(c)
+	for _, mn := range s.nets {
+		r := mn.routers[i]
+		if r == nil {
+			continue
+		}
+		for p := 0; p < numPorts; p++ {
+			if len(r.in[p]) > 0 {
+				r.in[p][0].Payload ^= mask
+				s.stats.BitErrors++
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CountTimeout records a remote-op deadline expiry observed by the
+// machine layer, so the network statistics tell the whole chaos story.
+func (s *Sim) CountTimeout() { s.stats.Timeouts++ }
 
 // Step advances the simulation one cycle.
 func (s *Sim) Step() {
@@ -198,6 +322,9 @@ func (s *Sim) stepNet(mn *meshNet) {
 		}
 		var taken [numPorts]bool // inputs already granted this cycle
 		for out := 0; out < numPorts; out++ {
+			if out != portLocal && s.linkDown[g.Index(r.at)*geom.NumDirs+out] {
+				continue // link out of service: packets wait upstream
+			}
 			// Round-robin: start after the last granted input.
 			for k := 1; k <= numPorts; k++ {
 				inPort := (r.rrAt[out] + k) % numPorts
@@ -312,7 +439,10 @@ func (s *Sim) Drained() bool {
 
 // RunUntilDrained steps until the network empties or maxCycles elapse;
 // it returns an error on timeout, which in a deadlock-free network with
-// finite traffic indicates a bug.
+// finite traffic indicates a bug (or, in a chaos run, a down link or
+// dead router wedging traffic). The error carries a congestion report —
+// in-flight population and the most-backed-up routers per network — so
+// hangs are debuggable without a debugger.
 func (s *Sim) RunUntilDrained(maxCycles int) error {
 	for i := 0; i < maxCycles; i++ {
 		if s.Drained() {
@@ -323,5 +453,52 @@ func (s *Sim) RunUntilDrained(maxCycles int) error {
 	if s.Drained() {
 		return nil
 	}
-	return fmt.Errorf("noc: network not drained after %d cycles (possible deadlock)", maxCycles)
+	return fmt.Errorf("noc: network not drained after %d cycles (possible deadlock): %s",
+		maxCycles, s.CongestionReport(4))
+}
+
+// CongestionReport summarizes where packets are stuck: per network, the
+// in-flight link population, the number of routers holding packets, the
+// total queued, and the topK routers by queue depth with coordinates.
+func (s *Sim) CongestionReport(topK int) string {
+	out := ""
+	for _, mn := range s.nets {
+		type stuck struct {
+			at geom.Coord
+			n  int
+		}
+		var worst []stuck
+		queued := 0
+		for _, r := range mn.routers {
+			if r == nil {
+				continue
+			}
+			n := 0
+			for p := 0; p < numPorts; p++ {
+				n += len(r.in[p])
+			}
+			if n > 0 {
+				queued += n
+				worst = append(worst, stuck{r.at, n})
+			}
+		}
+		sort.Slice(worst, func(i, j int) bool {
+			if worst[i].n != worst[j].n {
+				return worst[i].n > worst[j].n
+			}
+			return s.grid.Index(worst[i].at) < s.grid.Index(worst[j].at)
+		})
+		if out != "" {
+			out += "; "
+		}
+		out += fmt.Sprintf("%v: %d in flight, %d queued in %d routers",
+			mn.net, len(mn.flights), queued, len(worst))
+		if len(worst) > topK {
+			worst = worst[:topK]
+		}
+		for _, w := range worst {
+			out += fmt.Sprintf(" %v×%d", w.at, w.n)
+		}
+	}
+	return out
 }

@@ -168,14 +168,37 @@ type WorkloadResult struct {
 // kernel on the given workers, runs to completion and returns the
 // distances from src.
 func RunSSSP(m *Machine, g *Graph, src int, workers []WorkerRef, maxCycles int64) (*WorkloadResult, error) {
-	if err := g.Validate(); err != nil {
+	distA, err := layoutSSSP(m, g, src, len(workers))
+	if err != nil {
 		return nil, err
 	}
-	if src < 0 || src >= g.N {
-		return nil, fmt.Errorf("sim: source %d out of range", src)
+	res, err := launch(m, RelaxKernelSource, arch.GlobalBase, workers, maxCycles)
+	if err != nil {
+		return nil, err
 	}
-	if len(workers) == 0 {
-		return nil, fmt.Errorf("sim: no workers")
+	res.Dist = make([]int32, g.N)
+	for i := range res.Dist {
+		v, err := m.ReadGlobal32(distA + uint32(4*i))
+		if err != nil {
+			return nil, err
+		}
+		res.Dist[i] = int32(v)
+	}
+	return res, nil
+}
+
+// layoutSSSP writes the reversed CSR, the initial distance array and
+// the control block into shared memory and returns the distance array
+// base address.
+func layoutSSSP(m *Machine, g *Graph, src, nWorkers int) (uint32, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	if src < 0 || src >= g.N {
+		return 0, fmt.Errorf("sim: source %d out of range", src)
+	}
+	if nWorkers == 0 {
+		return 0, fmt.Errorf("sim: no workers")
 	}
 	rev := g.ReverseCSR()
 
@@ -196,13 +219,13 @@ func RunSSSP(m *Machine, g *Graph, src int, workers []WorkerRef, maxCycles int64
 		return nil
 	}
 	if err := writeArr(rowPtrA, rev.RowPtr); err != nil {
-		return nil, err
+		return 0, err
 	}
 	if err := writeArr(colIdxA, rev.ColIdx); err != nil {
-		return nil, err
+		return 0, err
 	}
 	if err := writeArr(weightA, rev.Weight); err != nil {
-		return nil, err
+		return 0, err
 	}
 	dist := make([]int32, g.N)
 	for i := range dist {
@@ -210,27 +233,14 @@ func RunSSSP(m *Machine, g *Graph, src int, workers []WorkerRef, maxCycles int64
 	}
 	dist[src] = 0
 	if err := writeArr(distA, dist); err != nil {
-		return nil, err
+		return 0, err
 	}
-	ctrl := []int32{int32(g.N), 0, 0, int32(len(workers)), int32(g.N + 1),
+	ctrl := []int32{int32(g.N), 0, 0, int32(nWorkers), int32(g.N + 1),
 		int32(rowPtrA), int32(colIdxA), int32(weightA), int32(distA)}
 	if err := writeArr(base, ctrl); err != nil {
-		return nil, err
+		return 0, err
 	}
-
-	res, err := launch(m, RelaxKernelSource, base, workers, maxCycles)
-	if err != nil {
-		return nil, err
-	}
-	res.Dist = make([]int32, g.N)
-	for i := range res.Dist {
-		v, err := m.ReadGlobal32(distA + uint32(4*i))
-		if err != nil {
-			return nil, err
-		}
-		res.Dist[i] = int32(v)
-	}
-	return res, nil
+	return distA, nil
 }
 
 // RunBFS runs the kernel on the unit-weight graph: the distances are

@@ -8,6 +8,7 @@ import (
 	"waferscale/internal/arch"
 	"waferscale/internal/fault"
 	"waferscale/internal/geom"
+	"waferscale/internal/inject"
 	"waferscale/internal/noc"
 )
 
@@ -61,6 +62,8 @@ type Core struct {
 		payload  uint64
 		reg      int // destination register for load/amo (-1 for store)
 		issuedAt int64
+		deadline int64 // cycle after which the op is declared lost
+		attempts int   // re-plan/retry count so far
 	}
 
 	Instret     int64 // retired instructions
@@ -81,6 +84,10 @@ type Tile struct {
 	// bankBusy tracks the last cycle each bank served an access, for
 	// single-port contention.
 	bankBusy []int64
+	// dead marks a tile killed at runtime (vs. nil for tiles faulty at
+	// construction). Its cores are faulted and its banks unreachable;
+	// the struct is kept so the cores' stats and errors stay readable.
+	dead bool
 }
 
 // Machine is the whole (or partial) waferscale system.
@@ -100,6 +107,25 @@ type Machine struct {
 	traceW      io.Writer
 	traceFilter TraceFilter
 
+	// Remote-op robustness knobs. A remote access outstanding past
+	// RemoteTimeout cycles is declared lost and reissued along a freshly
+	// planned route; after RemoteRetries reissues the destination is
+	// marked degraded and the core faults with a structured error.
+	// RemoteTimeout <= 0 disables deadlines (the pre-chaos behaviour).
+	RemoteTimeout int64
+	RemoteRetries int
+
+	// Runtime-fault state (see degradation.go).
+	schedEvents []inject.Event
+	schedAt     int
+	pendingFwd  []forwardToSend
+	// remap[tileIdx] is the grid index of the healthy tile hosting the
+	// dead tile's global window; shadow[tileIdx] is the zero-initialized
+	// reserve storage for that window (the data itself is lost).
+	remap  map[int]int
+	shadow map[int][]byte
+	degr   DegradationReport
+
 	// Stats.
 	RemoteRequests int64
 	RemoteLatency  int64 // summed cycles from issue to completion
@@ -107,11 +133,20 @@ type Machine struct {
 }
 
 type responseToSend struct {
-	net     noc.Network
-	src     geom.Coord
-	dst     geom.Coord
-	tag     uint32
-	payload uint64
+	net noc.Network
+	src geom.Coord
+	// finalDst is the requesting tile. The response may be injected
+	// toward a relay when the direct return path is broken.
+	finalDst geom.Coord
+	tag      uint32
+	result   uint32
+}
+
+// forwardToSend is a packet parked at a relay tile awaiting
+// re-injection (it met backpressure or arrived this cycle).
+type forwardToSend struct {
+	at  geom.Coord
+	pkt noc.Packet
 }
 
 // NewMachine builds a machine for a configuration and fault map. The
@@ -120,6 +155,9 @@ func NewMachine(cfg arch.Config, fm *fault.Map) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if fm == nil {
+		return nil, fmt.Errorf("sim: nil fault map")
+	}
 	if cfg.Grid() != fm.Grid() {
 		return nil, fmt.Errorf("sim: config grid %v != fault map grid %v", cfg.Grid(), fm.Grid())
 	}
@@ -127,14 +165,22 @@ func NewMachine(cfg arch.Config, fm *fault.Map) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	g := cfg.Grid()
 	m := &Machine{
 		Cfg:    cfg,
-		grid:   cfg.Grid(),
+		grid:   g,
 		fm:     fm,
 		amap:   arch.NewAddressMap(cfg),
 		kernel: noc.NewKernel(fm),
 		net:    netSim,
-		tiles:  make([]*Tile, cfg.Grid().Size()),
+		tiles:  make([]*Tile, g.Size()),
+		// Worst-case healthy round trip is ~2*(W+H) hops of a few cycles
+		// each plus queuing; 64x the semi-perimeter leaves generous slack
+		// so healthy runs never trip a false timeout.
+		RemoteTimeout: int64(64 * (g.W + g.H)),
+		RemoteRetries: 3,
+		remap:         make(map[int]int),
+		shadow:        make(map[int][]byte),
 	}
 	netSim.OnDeliver = m.onDeliver
 	m.grid.All(func(c geom.Coord) {
@@ -161,12 +207,17 @@ func NewMachine(cfg arch.Config, fm *fault.Map) (*Machine, error) {
 	return m, nil
 }
 
-// Tile returns the tile at c, or nil for faulty tiles.
+// Tile returns the tile at c, or nil for faulty or runtime-killed
+// tiles.
 func (m *Machine) Tile(c geom.Coord) *Tile {
 	if !m.grid.In(c) {
 		return nil
 	}
-	return m.tiles[m.grid.Index(c)]
+	t := m.tiles[m.grid.Index(c)]
+	if t == nil || t.dead {
+		return nil
+	}
+	return t
 }
 
 // Cycle returns the elapsed cycles.
@@ -259,18 +310,53 @@ func setBank32(b []byte, off uint32, v uint32) {
 	binary.LittleEndian.PutUint32(b[off:], v)
 }
 
+// globalSlice returns the 4-byte word backing a global (tile, bank,
+// offset) triple: the tile's own bank when it is alive, or the shadow
+// reserve storage when the tile died at runtime and its window was
+// remapped. Returns nil when the address has no backing at all.
+func (m *Machine) globalSlice(tile geom.Coord, bank int, off uint32) []byte {
+	i := m.grid.Index(tile)
+	if t := m.tiles[i]; t != nil && !t.dead {
+		return t.banks[bank][off : off+4]
+	}
+	if buf, ok := m.shadow[i]; ok {
+		o := uint32(bank)*uint32(m.Cfg.BankBytes) + off
+		return buf[o : o+4]
+	}
+	return nil
+}
+
+// routeTarget returns the tile that currently serves a global address:
+// the owning tile, or — after the owner died at runtime — the healthy
+// tile hosting its remapped window (the Section VIII degraded mode).
+func (m *Machine) routeTarget(addr uint32) (geom.Coord, error) {
+	tile, _, _, err := m.amap.GlobalTarget(addr)
+	if err != nil {
+		return geom.Coord{}, err
+	}
+	i := m.grid.Index(tile)
+	if t := m.tiles[i]; t != nil && !t.dead {
+		return tile, nil
+	}
+	if host, ok := m.remap[i]; ok {
+		return m.grid.Coord(host), nil
+	}
+	return geom.Coord{}, fmt.Errorf("sim: global address %#x lives on faulty tile %v with no fallback", addr, tile)
+}
+
 // ReadGlobal32 is the host (JTAG-style) backdoor into shared memory,
-// used for workload setup and result verification.
+// used for workload setup and result verification. It follows runtime
+// remaps into the shadow storage.
 func (m *Machine) ReadGlobal32(addr uint32) (uint32, error) {
 	tile, bank, off, err := m.amap.GlobalTarget(addr)
 	if err != nil {
 		return 0, err
 	}
-	t := m.Tile(tile)
-	if t == nil {
+	b := m.globalSlice(tile, bank, off)
+	if b == nil {
 		return 0, fmt.Errorf("sim: global address %#x lives on faulty tile %v", addr, tile)
 	}
-	return bank32(t.banks[bank], off), nil
+	return binary.LittleEndian.Uint32(b), nil
 }
 
 // WriteGlobal32 is the host backdoor for stores.
@@ -279,31 +365,49 @@ func (m *Machine) WriteGlobal32(addr uint32, v uint32) error {
 	if err != nil {
 		return err
 	}
-	t := m.Tile(tile)
-	if t == nil {
+	b := m.globalSlice(tile, bank, off)
+	if b == nil {
 		return fmt.Errorf("sim: global address %#x lives on faulty tile %v", addr, tile)
 	}
-	setBank32(t.banks[bank], off, v)
+	binary.LittleEndian.PutUint32(b, v)
 	return nil
 }
 
-// onDeliver handles packets ejecting at their destination tile.
+// onDeliver handles packets ejecting at a tile: a request is served by
+// this tile (or forwarded when this tile is a relay on a kernel
+// detour), a response completes the waiting core (or is forwarded when
+// this tile relays the return path).
 func (m *Machine) onDeliver(p noc.Packet) {
 	if p.Kind == noc.Request {
+		addr := uint32(p.Payload >> 32)
+		if target, err := m.routeTarget(addr); err == nil && target != p.Dst {
+			// This tile is a relay on a multi-leg detour (paper Section
+			// VI): spend a cycle and re-inject toward the target.
+			m.pendingFwd = append(m.pendingFwd, forwardToSend{at: p.Dst, pkt: p})
+			return
+		}
 		// Serve the memory operation on this tile's banks, then queue
 		// the response onto the complementary network (the pairing is
 		// baked into the router hardware in the prototype).
 		result := m.serveRemote(p)
 		m.pending = append(m.pending, responseToSend{
-			net:     p.Net.Complement(),
-			src:     p.Dst,
-			dst:     p.Src,
-			tag:     p.Tag,
-			payload: uint64(result),
+			net:      p.Net.Complement(),
+			src:      p.Dst,
+			finalDst: p.Src,
+			tag:      p.Tag,
+			result:   result,
 		})
 		return
 	}
-	// Response: complete the waiting core.
+	// Response: payload high bits carry the requesting tile's index so
+	// relay tiles can forward responses whose direct return path broke.
+	if fi := int(p.Payload >> 32); fi >= 0 && fi < m.grid.Size() {
+		if final := m.grid.Coord(fi); final != p.Dst {
+			m.pendingFwd = append(m.pendingFwd, forwardToSend{at: p.Dst, pkt: p})
+			return
+		}
+	}
+	// Complete the waiting core.
 	t := m.Tile(p.Dst)
 	if t == nil {
 		return
@@ -314,7 +418,7 @@ func (m *Machine) onDeliver(p noc.Packet) {
 	}
 	c := t.Cores[coreIdx]
 	if c.state != coreRemote || c.rem.tag != p.Tag {
-		return // stale response; ignore
+		return // stale response (e.g. a retried op's first try); ignore
 	}
 	if c.rem.reg > 0 { // r0 is hardwired zero
 		c.Regs[c.rem.reg] = uint32(p.Payload)
@@ -325,27 +429,35 @@ func (m *Machine) onDeliver(p noc.Packet) {
 }
 
 // serveRemote performs a remote memory op at the destination tile.
-// Payload layout: addr in the high 32 bits, data in the low 32.
+// Payload layout: addr in the high 32 bits, data in the low 32. The
+// serving tile is either the address's owner or the host of the dead
+// owner's remapped (shadow) window.
 func (m *Machine) serveRemote(p noc.Packet) uint32 {
 	addr := uint32(p.Payload >> 32)
 	data := uint32(p.Payload)
 	tile, bank, off, err := m.amap.GlobalTarget(addr)
-	if err != nil || tile != p.Dst {
+	if err != nil {
 		return 0xDEAD0000
 	}
-	t := m.Tile(tile)
-	if t == nil {
+	if tile != p.Dst {
+		host, ok := m.remap[m.grid.Index(tile)]
+		if !ok || host != m.grid.Index(p.Dst) {
+			return 0xDEAD0000
+		}
+	}
+	b := m.globalSlice(tile, bank, off)
+	if b == nil {
 		return 0xDEAD0001
 	}
-	old := bank32(t.banks[bank], off)
+	old := binary.LittleEndian.Uint32(b)
 	switch p.Tag & 0b11 {
 	case remStore:
-		setBank32(t.banks[bank], off, data)
+		binary.LittleEndian.PutUint32(b, data)
 	case remAmoAdd:
-		setBank32(t.banks[bank], off, old+data)
+		binary.LittleEndian.PutUint32(b, old+data)
 	case remAmoMin:
 		if int32(data) < int32(old) {
-			setBank32(t.banks[bank], off, data)
+			binary.LittleEndian.PutUint32(b, data)
 		}
 	}
 	return old
@@ -354,17 +466,12 @@ func (m *Machine) serveRemote(p noc.Packet) uint32 {
 // Step advances the machine one cycle.
 func (m *Machine) Step() {
 	m.cycle++
+	m.applyScheduled()
 	m.net.Step()
-	// Inject queued responses (retrying those that met backpressure).
-	retry := m.pending[:0]
-	for _, r := range m.pending {
-		if _, err := m.net.Inject(r.net, r.src, r.dst, noc.Response, r.tag, r.payload); err != nil {
-			retry = append(retry, r)
-		}
-	}
-	m.pending = retry
+	m.flushResponses()
+	m.flushForwards()
 	for _, t := range m.tiles {
-		if t == nil {
+		if t == nil || t.dead {
 			continue
 		}
 		// Rotate the stepping order so crossbar-bank arbitration is
@@ -376,6 +483,88 @@ func (m *Machine) Step() {
 			m.stepCore(t, t.Cores[(start+i)%n])
 		}
 	}
+}
+
+// flushResponses injects queued responses, retrying those that met
+// backpressure. A response whose server tile has since died is dropped
+// (the requester's deadline recovers it); one whose direct return path
+// broke is re-planned through the kernel, possibly via relays.
+func (m *Machine) flushResponses() {
+	retry := m.pending[:0]
+	for _, r := range m.pending {
+		if m.fm.Faulty(r.src) {
+			m.degr.DroppedResponses++
+			continue
+		}
+		net, first := r.net, r.finalDst
+		if !m.kernel.Analyzer().PathClear(net, r.src, r.finalDst) {
+			dec, err := m.kernel.Decide(r.src, r.finalDst)
+			if err != nil || !dec.Reachable {
+				m.degr.DroppedResponses++
+				continue
+			}
+			net = dec.Request
+			if len(dec.Via) > 0 {
+				first = dec.Via[0]
+			}
+		}
+		payload := uint64(m.grid.Index(r.finalDst))<<32 | uint64(r.result)
+		if _, err := m.net.Inject(net, r.src, first, noc.Response, r.tag, payload); err != nil {
+			retry = append(retry, r)
+		}
+	}
+	m.pending = retry
+}
+
+// flushForwards re-injects packets parked at relay tiles: requests
+// toward the tile serving their address, responses toward the
+// requesting tile encoded in the payload.
+func (m *Machine) flushForwards() {
+	retry := m.pendingFwd[:0]
+	for _, f := range m.pendingFwd {
+		if m.fm.Faulty(f.at) {
+			m.degr.DroppedForwards++
+			continue
+		}
+		var target geom.Coord
+		if f.pkt.Kind == noc.Request {
+			t, err := m.routeTarget(uint32(f.pkt.Payload >> 32))
+			if err != nil {
+				m.degr.DroppedForwards++
+				continue
+			}
+			target = t
+		} else {
+			target = m.grid.Coord(int(f.pkt.Payload >> 32))
+		}
+		if target == f.at {
+			// The window remapped onto this very tile while the packet
+			// was in flight: deliver locally instead of forwarding.
+			p := f.pkt
+			p.Dst = f.at
+			m.onDeliver(p)
+			continue
+		}
+		dec, err := m.kernel.Decide(f.at, target)
+		if err != nil || !dec.Reachable {
+			m.degr.DroppedForwards++
+			continue
+		}
+		next := target
+		if len(dec.Via) > 0 {
+			next = dec.Via[0]
+		}
+		if err := m.net.Forward(dec.Request, f.at, next, f.pkt); err != nil {
+			retry = append(retry, f) // backpressure: park until next cycle
+			continue
+		}
+		if f.pkt.Kind == noc.Request {
+			m.degr.RelayedRequests++
+		} else {
+			m.degr.RelayedResponses++
+		}
+	}
+	m.pendingFwd = retry
 }
 
 // Run steps until every started core halts or maxCycles pass.
@@ -457,6 +646,9 @@ func (m *Machine) stepCore(t *Tile, c *Core) {
 			if _, err := m.net.Inject(c.rem.net, c.tile, c.rem.dst, noc.Request, c.rem.tag, c.rem.payload); err == nil {
 				c.rem.injected = true
 			}
+		}
+		if m.RemoteTimeout > 0 && m.cycle >= c.rem.deadline {
+			m.retryRemote(c)
 		}
 		return
 	}
@@ -594,7 +786,7 @@ func (m *Machine) memOp(t *Tile, c *Core, in Instr) bool {
 		if tile == c.tile {
 			return m.bankAccess(t, c, in, bank, off, latOwnGlobal)
 		}
-		return m.remoteOp(c, in, tile, addr)
+		return m.remoteOp(c, in, addr)
 	}
 	m.fault(c, "unmapped address %#x", addr)
 	return true
@@ -639,18 +831,27 @@ func (m *Machine) applyAmo(word []byte, op Op, old, operand uint32) {
 	}
 }
 
-// remoteOp issues a request packet for a remote global access.
-func (m *Machine) remoteOp(c *Core, in Instr, dst geom.Coord, addr uint32) bool {
-	dec, err := m.kernel.Decide(c.tile, dst)
-	if err != nil || !dec.Reachable {
-		m.fault(c, "tile %v unreachable from %v", dst, c.tile)
+// remoteOp issues a request packet for a remote global access. The
+// destination is resolved through the live fault view (it may be the
+// shadow host of a dead owner) and the first hop may be a relay tile
+// when the kernel plans a detour.
+func (m *Machine) remoteOp(c *Core, in Instr, addr uint32) bool {
+	target, err := m.routeTarget(addr)
+	if err != nil {
+		m.fault(c, "remote access lost: %v", err)
 		return true
 	}
-	if len(dec.Via) > 0 {
-		// Relay routing needs kernel software on the relay tile; the
-		// machine model requires directly reachable pairs.
-		m.fault(c, "tile %v reachable from %v only via relays; not supported by the hardware path", dst, c.tile)
+	dec, err := m.kernel.Decide(c.tile, target)
+	if err != nil || !dec.Reachable {
+		m.degr.markDegradedOnce(target)
+		m.fault(c, "tile %v unreachable from %v", target, c.tile)
 		return true
+	}
+	first := target
+	if len(dec.Via) > 0 {
+		// Multi-leg detour: send to the first relay; relay tiles spend
+		// cycles forwarding (paper Section VI software workaround).
+		first = dec.Via[0]
 	}
 	op := uint32(remLoad)
 	reg := in.Rd
@@ -671,17 +872,70 @@ func (m *Machine) remoteOp(c *Core, in Instr, dst geom.Coord, addr uint32) bool 
 	tag := op | uint32(c.idx)<<2 | m.tagSeq<<6
 	c.rem.injected = false
 	c.rem.net = dec.Request
-	c.rem.dst = dst
+	c.rem.dst = first
 	c.rem.tag = tag
 	c.rem.payload = uint64(addr)<<32 | uint64(data)
 	c.rem.reg = reg
 	c.rem.issuedAt = m.cycle
+	c.rem.deadline = m.cycle + m.RemoteTimeout
+	c.rem.attempts = 0
 	c.state = coreRemote
 	// Try to inject immediately.
-	if _, err := m.net.Inject(dec.Request, c.tile, dst, noc.Request, tag, c.rem.payload); err == nil {
+	if _, err := m.net.Inject(dec.Request, c.tile, first, noc.Request, tag, c.rem.payload); err == nil {
 		c.rem.injected = true
 	}
 	return true
+}
+
+// retryRemote handles an expired remote-op deadline: the request or its
+// response was lost (dead router, broken link). The op is re-planned
+// through the kernel against the current fault view and reissued with a
+// fresh tag and an exponentially longer deadline; after RemoteRetries
+// reissues the destination is marked degraded and the core faults with
+// a structured error instead of stalling forever.
+func (m *Machine) retryRemote(c *Core) {
+	m.net.CountTimeout()
+	m.degr.TimedOutOps++
+	addr := uint32(c.rem.payload >> 32)
+	if c.rem.attempts >= m.RemoteRetries {
+		m.degr.ExhaustedOps++
+		m.degr.markDegradedOnce(c.rem.dst)
+		m.fault(c, "remote access %#x gave up after %d attempts (last hop %v, cycle %d)",
+			addr, c.rem.attempts+1, c.rem.dst, m.cycle)
+		return
+	}
+	target, err := m.routeTarget(addr)
+	if err != nil {
+		m.degr.ExhaustedOps++
+		m.fault(c, "remote access lost: %v", err)
+		return
+	}
+	dec, derr := m.kernel.Decide(c.tile, target)
+	if derr != nil || !dec.Reachable {
+		m.degr.ExhaustedOps++
+		m.degr.markDegradedOnce(target)
+		m.fault(c, "tile %v unreachable from %v after re-plan (attempt %d)", target, c.tile, c.rem.attempts+1)
+		return
+	}
+	first := target
+	if len(dec.Via) > 0 {
+		first = dec.Via[0]
+	}
+	c.rem.attempts++
+	m.degr.RetriedOps++
+	// Fresh sequence bits so a late response to the lost attempt is
+	// ignored as stale; op and core bits are preserved. Retries are
+	// at-least-once: if the lost half was the response, a store or
+	// atomic may apply twice — acceptable for degraded-mode runs.
+	m.tagSeq++
+	c.rem.tag = c.rem.tag&0x3F | m.tagSeq<<6
+	c.rem.net = dec.Request
+	c.rem.dst = first
+	c.rem.injected = false
+	c.rem.deadline = m.cycle + m.RemoteTimeout<<uint(c.rem.attempts)
+	if _, err := m.net.Inject(dec.Request, c.tile, first, noc.Request, c.rem.tag, c.rem.payload); err == nil {
+		c.rem.injected = true
+	}
 }
 
 func b2u(b bool) uint32 {
