@@ -58,6 +58,41 @@ func BenchmarkFig2DroopMap(b *testing.B) {
 	b.ReportMetric(2.5, "edgeV")
 }
 
+// pdnBenchConfig is the shared 70x70 scale-up solve the serial/parallel
+// benchmark pair times — large enough that the red-black sweeps
+// dominate setup cost.
+func pdnBenchConfig() pdn.Config {
+	d := core.NewDesign()
+	cfg := pdn.DefaultConfig(geom.NewGrid(70, 70), d.TileCurrentA())
+	return cfg
+}
+
+// BenchmarkPDNSolveSerial is the single-goroutine baseline for the
+// red-black SOR solver on a 70x70 array.
+func BenchmarkPDNSolveSerial(b *testing.B) {
+	cfg := pdnBenchConfig()
+	cfg.Serial = true
+	for i := 0; i < b.N; i++ {
+		if _, err := pdn.Solve(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPDNSolveParallel is the same solve on the GOMAXPROCS row-
+// chunked pool. The red-black ordering makes the result bit-identical
+// to the serial baseline; compare ns/op against BenchmarkPDNSolveSerial
+// for the speedup (~2x or better on >= 4 cores; no speedup is possible
+// on a single-core host).
+func BenchmarkPDNSolveParallel(b *testing.B) {
+	cfg := pdnBenchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := pdn.Solve(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSec3PowerStrategies compares edge-LDO, edge-buck and TWV
 // delivery (paper Section III).
 func BenchmarkSec3PowerStrategies(b *testing.B) {

@@ -134,6 +134,7 @@ func cmdReport(args []string) error {
 	faults := fs.Int("faults", 5, "random faulty tiles")
 	trials := fs.Int("trials", 8, "Monte Carlo trials")
 	seed := fs.Int64("seed", 2021, "random seed")
+	workers := fs.Int("workers", 0, "host goroutines for the analyses (0 = GOMAXPROCS)")
 	cfgPath := fs.String("config", "", "JSON config file overriding the prototype design")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -142,6 +143,7 @@ func cmdReport(args []string) error {
 	if err != nil {
 		return err
 	}
+	d.Workers = *workers
 	fm := fault.Random(d.Cfg.Grid(), *faults, rand.New(rand.NewSource(*seed)))
 	return d.WriteFullReport(os.Stdout, fm, *trials, *seed)
 }
@@ -149,10 +151,12 @@ func cmdReport(args []string) error {
 func cmdDroop(args []string) error {
 	fs := flag.NewFlagSet("droop", flag.ExitOnError)
 	profile := fs.Bool("profile", false, "print the center-row 1-D profile instead of the map")
+	workers := fs.Int("workers", 0, "host goroutines for the droop solve (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	d := core.NewDesign()
+	d.Workers = *workers
 	rep, err := d.AnalyzePower()
 	if err != nil {
 		return err
@@ -229,6 +233,7 @@ func cmdNocMC(args []string) error {
 	seed := fs.Int64("seed", 2021, "random seed")
 	max := fs.Int("max", 20, "max fault count")
 	chiplet := fs.Bool("chiplet", false, "fault at chiplet granularity (memory faults only cut N-S links)")
+	workers := fs.Int("workers", 0, "host goroutines running trials (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -240,20 +245,12 @@ func cmdNocMC(args []string) error {
 	if *chiplet {
 		fmt.Printf("Fig. 6 at chiplet granularity (32x32, %d trials)\n", *trials)
 		fmt.Printf("%8s  %14s  %14s\n", "chiplets", "1 DoR network", "2 DoR networks")
-		for _, n := range counts {
-			var single, dual float64
-			for i := 0; i < *trials; i++ {
-				rng := rand.New(rand.NewSource(*seed + int64(1000*n+i)))
-				st := noc.NewChipletAnalyzer(noc.RandomChiplets(d.Cfg.Grid(), n, rng)).AllPairs()
-				single += st.PctSingle()
-				dual += st.PctDual()
-			}
-			fmt.Printf("%8d  %13.2f%%  %13.3f%%\n",
-				n, single/float64(*trials), dual/float64(*trials))
+		for _, p := range noc.ChipletFig6Sweep(d.Cfg.Grid(), counts, *trials, *seed, *workers) {
+			fmt.Printf("%8d  %13.2f%%  %13.3f%%\n", p.Chiplets, p.PctSingle.Mean, p.PctDual.Mean)
 		}
 		return nil
 	}
-	pts := noc.Fig6Sweep(d.Cfg.Grid(), counts, *trials, *seed)
+	pts := noc.Fig6SweepWorkers(d.Cfg.Grid(), counts, *trials, *seed, *workers)
 	fmt.Printf("Fig. 6: %% disconnected source-destination pairs (32x32, %d trials)\n", *trials)
 	fmt.Printf("%8s  %14s  %14s\n", "faults", "1 DoR network", "2 DoR networks")
 	for _, p := range pts {
@@ -314,10 +311,12 @@ func cmdRoute(args []string) error {
 
 func cmdDSE(args []string) error {
 	fs := flag.NewFlagSet("dse", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "host goroutines for the sweeps (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	d := core.NewDesign()
+	d.Workers = *workers
 	fmt.Println("array-size sweep (fixed per-tile design):")
 	pts, err := d.SweepArraySize([]int{8, 16, 24, 32, 40, 48})
 	if err != nil {
@@ -513,6 +512,7 @@ func cmdChaos(args []string) error {
 	to := fs.Int64("kill-to", 5000, "latest kill cycle")
 	maxCycles := fs.Int64("max-cycles", 400_000, "per-trial cycle budget (never-hang bound)")
 	graphSide := fs.Int("graph", 8, "BFS mesh graph side")
+	hostWorkers := fs.Int("host-workers", 0, "host goroutines running trials (0 = GOMAXPROCS)")
 	cfgPath := fs.String("config", "", "JSON config file overriding the prototype design")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -529,6 +529,7 @@ func cmdChaos(args []string) error {
 	cfg.KillWindow = [2]int64{*from, *to}
 	cfg.MaxCycles = *maxCycles
 	cfg.GraphSide = *graphSide
+	cfg.TrialWorkers = *hostWorkers
 	cfg.Kills = cfg.Kills[:0]
 	for _, f := range strings.Split(*kills, ",") {
 		k, err := strconv.Atoi(strings.TrimSpace(f))
@@ -549,10 +550,12 @@ func cmdChaos(args []string) error {
 
 func cmdPareto(args []string) error {
 	fs := flag.NewFlagSet("pareto", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "host goroutines evaluating candidates (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	d := core.NewDesign()
+	d.Workers = *workers
 	all, frontier, err := d.ExplorePareto(core.DefaultParetoSpace())
 	if err != nil {
 		return err

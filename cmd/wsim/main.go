@@ -22,6 +22,7 @@ import (
 	"waferscale/internal/fault"
 	"waferscale/internal/geom"
 	"waferscale/internal/inject"
+	"waferscale/internal/parallel"
 	"waferscale/internal/sim"
 )
 
@@ -40,10 +41,19 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "seed for random mid-run kills")
 	kill := flag.String("kill", "", `explicit tiles to kill, e.g. "1,0;2,3"`)
 	faultAt := flag.Int64("fault-at-cycle", 1000, "cycle the kills land at")
+	trials := flag.Int("trials", 1, "fault-survival trials (with -faults; each draws fresh victims)")
+	hostWorkers := flag.Int("host-workers", 0, "host goroutines running trials (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*workload, *side, *cores, *vertices, *edges, *workers, *src, *seed, *maxCycles, *profile,
-		*faults, *faultSeed, *kill, *faultAt); err != nil {
+	var err error
+	if *trials > 1 {
+		err = runTrials(*workload, *side, *cores, *vertices, *edges, *workers, *src, *seed, *maxCycles,
+			*faults, *faultSeed, *faultAt, *trials, *hostWorkers)
+	} else {
+		err = run(*workload, *side, *cores, *vertices, *edges, *workers, *src, *seed, *maxCycles, *profile,
+			*faults, *faultSeed, *kill, *faultAt)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "wsim: %v\n", err)
 		os.Exit(1)
 	}
@@ -143,12 +153,7 @@ func run(workload string, side, cores, vertices, edges, workers, src int, seed, 
 		return err
 	}
 	want := g.ReferenceSSSP(src)
-	mismatches := 0
-	for v := range want {
-		if res.Dist[v] != want[v] {
-			mismatches++
-		}
-	}
+	mismatches := sim.CountMismatches(res.Dist, want)
 	fmt.Printf("cycles               %d\n", res.Cycles)
 	fmt.Printf("instructions         %d\n", res.Instructions)
 	fmt.Printf("remote accesses      %d\n", res.RemoteOps)
@@ -165,6 +170,81 @@ func run(workload string, side, cores, vertices, edges, workers, src int, seed, 
 	return nil
 }
 
+// runTrials is the CLI's mini chaos sweep: N independent machines run
+// the same workload under freshly drawn fault schedules, fanned out on
+// the shared bounded pool. Per-trial seeds are derived with
+// fault.TrialSeed, so the survival counts are identical at any
+// -host-workers value.
+func runTrials(workload string, side, cores, vertices, edges, workers, src int, seed, maxCycles int64,
+	faults int, faultSeed, faultAt int64, trials, hostWorkers int) error {
+	if workload != "bfs" && workload != "sssp" {
+		return fmt.Errorf("-trials supports bfs|sssp, not %q", workload)
+	}
+	if faults <= 0 {
+		return fmt.Errorf("-trials needs -faults > 0 (fresh random victims per trial)")
+	}
+	cfg := arch.DefaultConfig()
+	cfg.TilesX, cfg.TilesY = side, side
+	cfg.CoresPerTile = cores
+	cfg.JTAGChains = side
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	var g *sim.Graph
+	if workload == "bfs" {
+		g = sim.RandomGraph(vertices, edges, 1, seed).Unweighted()
+	} else {
+		g = sim.RandomGraph(vertices, edges, 9, seed)
+	}
+	want := g.ReferenceSSSP(src)
+	fmt.Printf("%s under faults: %d trials x %d kills, %d vertices, %d workers on a %dx%d machine\n",
+		workload, trials, faults, g.N, workers, side, side)
+
+	type outcome struct {
+		completed bool
+		verified  bool
+		cycles    int64
+	}
+	results, err := parallel.Map(nil, trials, hostWorkers, func(i int) (outcome, error) {
+		m, err := sim.NewMachine(cfg, fault.NewMap(cfg.Grid()))
+		if err != nil {
+			return outcome{}, err
+		}
+		sched := inject.Random(cfg.Grid(), faults, [2]int64{faultAt, faultAt},
+			fault.TrialSeed(faultSeed, faults, i), nil)
+		if err := m.AttachSchedule(sched); err != nil {
+			return outcome{}, err
+		}
+		ws := sim.AllWorkers(m, workers)
+		res, err := sim.RunSSSPUnderFaults(m, g, src, ws, maxCycles)
+		if err != nil {
+			return outcome{}, err
+		}
+		o := outcome{completed: res.Completed, cycles: res.Cycles}
+		o.verified = res.Completed && res.ReadErrors == 0 &&
+			sim.CountMismatches(res.Dist, want) == 0
+		return o, nil
+	})
+	if err != nil {
+		return err
+	}
+	completed, verified := 0, 0
+	var cycles int64
+	for _, o := range results {
+		if o.completed {
+			completed++
+		}
+		if o.verified {
+			verified++
+		}
+		cycles += o.cycles
+	}
+	fmt.Printf("completed  %d/%d\n", completed, trials)
+	fmt.Printf("verified   %d/%d\n", verified, trials)
+	fmt.Printf("mean cycles %.0f\n", float64(cycles)/float64(trials))
+	return nil
+}
+
 // runDegraded drives BFS/SSSP through the fault-tolerant runner: the
 // run either completes (possibly via retries and relay detours) or
 // terminates at the cycle budget with a structured degradation report —
@@ -175,12 +255,7 @@ func runDegraded(m *sim.Machine, g *sim.Graph, src int, ws []sim.WorkerRef, maxC
 		return err
 	}
 	want := g.ReferenceSSSP(src)
-	mismatches := 0
-	for v := range want {
-		if res.Dist[v] != want[v] {
-			mismatches++
-		}
-	}
+	mismatches := sim.CountMismatches(res.Dist, want)
 	fmt.Printf("cycles               %d\n", res.Cycles)
 	fmt.Printf("completed            %v\n", res.Completed)
 	fmt.Printf("reference mismatches %d/%d (%d unreadable)\n", mismatches, g.N, res.ReadErrors)

@@ -2,13 +2,12 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
-	"waferscale/internal/sim"
-
+	"waferscale/internal/fault"
 	"waferscale/internal/inject"
+	"waferscale/internal/parallel"
+	"waferscale/internal/sim"
 )
 
 // Chaos Monte Carlo: the runtime analogue of the Fig. 6 static yield
@@ -29,6 +28,10 @@ type ChaosConfig struct {
 	KillWindow [2]int64 // cycle window kills are drawn from
 	MaxCycles  int64    // per-run cycle budget (the never-hang bound)
 	GraphSide  int      // workload is BFS on a GraphSide x GraphSide mesh
+	// TrialWorkers bounds the host goroutine pool running trials
+	// (0 = GOMAXPROCS). Workers above is the number of *simulated* BFS
+	// worker cores, a property of the experiment, not the host.
+	TrialWorkers int
 }
 
 // DefaultChaosConfig returns the standard sweep: an 8x8 machine running
@@ -105,9 +108,11 @@ type chaosTrial struct {
 }
 
 // RunChaos executes the sweep and returns one point per kill count.
-// Trials run in parallel on independent machines; the outcome is
-// deterministic for a fixed config (per-trial seeds are derived, not
-// drawn from shared state).
+// Trials run on independent machines over the shared bounded pool
+// (cfg.TrialWorkers goroutines, 0 = GOMAXPROCS); the outcome is
+// deterministic for a fixed config regardless of worker count
+// (per-trial seeds are derived via fault.TrialSeed, not drawn from
+// shared state).
 func (d *Design) RunChaos(cfg ChaosConfig) ([]ChaosPoint, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -118,41 +123,16 @@ func (d *Design) RunChaos(cfg ChaosConfig) ([]ChaosPoint, error) {
 	points := make([]ChaosPoint, 0, len(cfg.Kills))
 	for _, kills := range cfg.Kills {
 		trials := make([]chaosTrial, cfg.Trials)
-		var wg sync.WaitGroup
-		next := make(chan int)
-		go func() {
-			for i := 0; i < cfg.Trials; i++ {
-				next <- i
+		err := parallel.ForEach(nil, cfg.Trials, cfg.TrialWorkers, func(i int) error {
+			t, err := d.runChaosTrial(cfg, g, want, kills, i)
+			if err != nil {
+				return err
 			}
-			close(next)
-		}()
-		var firstErr error
-		var errMu sync.Mutex
-		workers := runtime.GOMAXPROCS(0)
-		if workers > cfg.Trials {
-			workers = cfg.Trials
-		}
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					t, err := d.runChaosTrial(cfg, g, want, kills, i)
-					if err != nil {
-						errMu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						errMu.Unlock()
-						continue
-					}
-					trials[i] = t
-				}
-			}()
-		}
-		wg.Wait()
-		if firstErr != nil {
-			return nil, firstErr
+			trials[i] = t
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 
 		p := ChaosPoint{Kills: kills, Trials: cfg.Trials}
@@ -183,7 +163,7 @@ func (d *Design) runChaosTrial(cfg ChaosConfig, g *sim.Graph, want []int32, kill
 	if err != nil {
 		return chaosTrial{}, err
 	}
-	sched := inject.Random(m.Cfg.Grid(), kills, cfg.KillWindow, chaosTrialSeed(cfg.Seed, kills, trial), nil)
+	sched := inject.Random(m.Cfg.Grid(), kills, cfg.KillWindow, fault.TrialSeed(cfg.Seed, kills, trial), nil)
 	if err := m.AttachSchedule(sched); err != nil {
 		return chaosTrial{}, err
 	}
@@ -200,26 +180,9 @@ func (d *Design) runChaosTrial(cfg ChaosConfig, g *sim.Graph, want []int32, kill
 		cycles:    res.Cycles,
 	}
 	if res.Completed && res.ReadErrors == 0 && len(m.Faults()) == 0 {
-		t.verified = true
-		for v := range want {
-			if res.Dist[v] != want[v] {
-				t.verified = false
-				break
-			}
-		}
+		t.verified = sim.CountMismatches(res.Dist, want) == 0
 	}
 	return t, nil
-}
-
-// chaosTrialSeed mirrors fault.MonteCarlo's splitmix64-style per-trial
-// seed derivation so trials are decorrelated and replayable.
-func chaosTrialSeed(base int64, kills, trial int) int64 {
-	z := uint64(base) ^ uint64(kills)<<32 ^ uint64(trial)
-	z += 0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return int64(z)
 }
 
 // FormatChaos renders the survival curve as an aligned text table.

@@ -26,6 +26,12 @@ import (
 type Design struct {
 	Cfg arch.Config
 
+	// Workers bounds the host-side goroutine pool every analysis in
+	// this package fans out on (PDN sweeps, Monte Carlo trials, DSE
+	// points, report sections). 0 means GOMAXPROCS. Results are
+	// bit-identical at any worker count.
+	Workers int
+
 	// PillarYield is the per-copper-pillar bond yield (paper: >99.99%).
 	PillarYield float64
 	// PillarsPerPad is the bonding redundancy (prototype: 2).
@@ -99,6 +105,7 @@ func (d *Design) AnalyzePower() (*PowerReport, error) {
 		EdgeVolts:    d.Cfg.EdgeSupplyVolts,
 		TileCurrentA: d.TileCurrentA(),
 		SheetOhm:     d.SheetOhm,
+		Workers:      d.Workers,
 	}
 	sol, err := pdn.Solve(cfg)
 	if err != nil {
@@ -230,7 +237,7 @@ func (d *Design) AnalyzeNetwork(faultCounts []int, trials int, seed int64) *Netw
 	link.PacketBits = d.Cfg.PacketWidthBits
 	link.Buses = d.Cfg.BusesPerTileSide
 	return &NetworkReport{
-		Fig6:      noc.Fig6Sweep(d.Cfg.Grid(), faultCounts, trials, seed),
+		Fig6:      noc.Fig6SweepWorkers(d.Cfg.Grid(), faultCounts, trials, seed, d.Workers),
 		Bandwidth: noc.ComputeBandwidth(d.Cfg.Grid(), link),
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"waferscale/internal/chipio"
 	"waferscale/internal/jtag"
+	"waferscale/internal/parallel"
 	"waferscale/internal/pdn"
 )
 
@@ -31,33 +32,37 @@ type ArrayPoint struct {
 // SweepArraySize evaluates square arrays of the given side lengths,
 // keeping the per-tile design fixed. Larger arrays droop more: at some
 // size the edge-delivery scheme stops regulating — the knee this sweep
-// exposes is why TWVs matter for scale-up.
+// exposes is why TWVs matter for scale-up. The sides are evaluated on
+// the shared bounded pool (d.Workers goroutines, 0 = GOMAXPROCS); each
+// point solves its droop map single-threaded so the sweep parallelizes
+// across points, not inside them.
 func (d *Design) SweepArraySize(sides []int) ([]ArrayPoint, error) {
-	var out []ArrayPoint
-	for _, n := range sides {
+	return parallel.Map(nil, len(sides), d.Workers, func(i int) (ArrayPoint, error) {
+		n := sides[i]
 		cfg := d.Cfg
 		cfg.TilesX, cfg.TilesY = n, n
 		cfg.JTAGChains = n
 		if err := cfg.Validate(); err != nil {
-			return nil, fmt.Errorf("core: side %d: %w", n, err)
+			return ArrayPoint{}, fmt.Errorf("core: side %d: %w", n, err)
 		}
 		sol, err := pdn.Solve(pdn.Config{
 			Grid:         cfg.Grid(),
 			EdgeVolts:    cfg.EdgeSupplyVolts,
 			TileCurrentA: cfg.PeakTilePowerW / cfg.FastCornerVolts,
 			SheetOhm:     d.SheetOhm,
+			Serial:       true, // outer loop owns the pool
 		})
 		if err != nil {
-			return nil, err
+			return ArrayPoint{}, err
 		}
 		min, _ := sol.MinVolt()
 		reg := pdn.CheckRegulation(sol, d.LDO, cfg.PeakTilePowerW)
 		perTileBytes := cfg.CoresPerTile*cfg.PrivateMemPerCore + cfg.SharedBanksPerTile*cfg.BankBytes
 		lt, err := jtag.DefaultLoadModel().LoadTime(cfg.Tiles(), cfg.JTAGChains, perTileBytes/4, false)
 		if err != nil {
-			return nil, err
+			return ArrayPoint{}, err
 		}
-		out = append(out, ArrayPoint{
+		return ArrayPoint{
 			Tiles:        cfg.Tiles(),
 			Cores:        cfg.TotalCores(),
 			ThroughputT:  cfg.ComputeThroughputOPS() / 1e12,
@@ -65,9 +70,8 @@ func (d *Design) SweepArraySize(sides []int) ([]ArrayPoint, error) {
 			CenterVolt:   min,
 			RegulationOK: reg.TilesOutOfRange == 0,
 			LoadTime:     lt,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RedundancyPoint is one pillar-redundancy design point.

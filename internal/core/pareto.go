@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"waferscale/internal/chipio"
+	"waferscale/internal/parallel"
 	"waferscale/internal/pdn"
 )
 
@@ -58,19 +59,38 @@ func DefaultParetoSpace() ParetoSpace {
 }
 
 // ExplorePareto evaluates the grid and returns all feasible points plus
-// the Pareto-optimal subset (both sorted by throughput).
+// the Pareto-optimal subset (both sorted by throughput). Candidates are
+// evaluated on the shared bounded pool (d.Workers goroutines,
+// 0 = GOMAXPROCS); each point's droop solve runs single-threaded so
+// the sweep parallelizes across candidates.
 func (d *Design) ExplorePareto(space ParetoSpace) (all, frontier []DesignPoint, err error) {
+	type combo struct {
+		side    int
+		edgeV   float64
+		pillars int
+	}
+	var combos []combo
 	for _, side := range space.Sides {
 		for _, ev := range space.EdgeV {
 			for _, pp := range space.Pillars {
-				pt, err := d.evaluatePoint(side, ev, pp)
-				if err != nil {
-					return nil, nil, fmt.Errorf("core: point (%d,%.1fV,%dp): %w", side, ev, pp, err)
-				}
-				if pt.Feasible {
-					all = append(all, pt)
-				}
+				combos = append(combos, combo{side, ev, pp})
 			}
+		}
+	}
+	pts, err := parallel.Map(nil, len(combos), d.Workers, func(i int) (DesignPoint, error) {
+		c := combos[i]
+		pt, err := d.evaluatePoint(c.side, c.edgeV, c.pillars)
+		if err != nil {
+			return DesignPoint{}, fmt.Errorf("core: point (%d,%.1fV,%dp): %w", c.side, c.edgeV, c.pillars, err)
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, pt := range pts {
+		if pt.Feasible {
+			all = append(all, pt)
 		}
 	}
 	for _, p := range all {
@@ -120,6 +140,7 @@ func (d *Design) evaluatePoint(side int, edgeV float64, pillars int) (DesignPoin
 		EdgeVolts:    edgeV,
 		TileCurrentA: cfg.PeakTilePowerW / cfg.FastCornerVolts,
 		SheetOhm:     d.SheetOhm,
+		Serial:       true, // outer loop owns the pool
 	})
 	if err != nil {
 		return DesignPoint{}, err

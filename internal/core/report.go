@@ -6,22 +6,54 @@ import (
 	"time"
 
 	"waferscale/internal/fault"
+	"waferscale/internal/parallel"
 	"waferscale/internal/pdn"
 )
 
 // WriteFullReport runs every analysis on the design against the fault
 // map and writes a human-readable engineering report — the one-stop
 // rendering used by cmd/waferscale and the quickstart example.
+//
+// The section analyses are independent, so they fan out on the shared
+// bounded pool (d.Workers goroutines, 0 = GOMAXPROCS) and the report
+// is rendered serially afterwards — the output is byte-identical at
+// any worker count.
 func (d *Design) WriteFullReport(w io.Writer, fm *fault.Map, mcTrials int, seed int64) error {
 	if err := d.Validate(); err != nil {
 		return err
 	}
-	fmt.Fprintln(w, d.FormatSpec())
 
-	power, err := d.AnalyzePower()
+	var (
+		power *PowerReport
+		clk   *ClockReport
+		yld   *YieldReport
+		net   *NetworkReport
+		tst   *TestReport
+		sub   *SubstrateReport
+		tr    *TransientReport
+		fr    *FrequencyReport
+		pl    *PlacementReport
+		kgd   *KGDReport
+		iop   *IOPowerReport
+	)
+	err := parallel.Do(nil, d.Workers,
+		func() (e error) { power, e = d.AnalyzePower(); return },
+		func() (e error) { clk, e = d.AnalyzeClock(fm); return },
+		func() (e error) { yld, e = d.AnalyzeYield(); return },
+		func() error { net = d.AnalyzeNetwork([]int{1, 5, 10}, mcTrials, seed); return nil },
+		func() (e error) { tst, e = d.AnalyzeTest(); return },
+		func() (e error) { sub, e = d.AnalyzeSubstrate(); return },
+		func() (e error) { tr, e = d.AnalyzeTransient(); return },
+		func() (e error) { fr, e = d.AnalyzeFrequency(); return },
+		func() (e error) { pl, e = d.AnalyzePlacement(fm, 4); return },
+		func() (e error) { kgd, e = d.AnalyzeKGD(0.90); return },
+		func() error { iop = d.AnalyzeIOPower(); return nil },
+	)
 	if err != nil {
 		return err
 	}
+
+	fmt.Fprintln(w, d.FormatSpec())
 	fmt.Fprintf(w, "Power delivery (Section III / Fig. 2)\n")
 	fmt.Fprintf(w, "  edge supply           %.2f V\n", d.Cfg.EdgeSupplyVolts)
 	fmt.Fprintf(w, "  center-of-wafer       %.2f V at tile %v\n", power.MinVolt, power.MinAt)
@@ -32,10 +64,6 @@ func (d *Design) WriteFullReport(w io.Writer, fm *fault.Map, mcTrials int, seed 
 		power.Regulation.TilesInRegulation, d.Cfg.Tiles(), d.LDO.MinOutV, d.LDO.MaxOutV)
 	fmt.Fprintf(w, "%s\n", pdn.FormatComparison(power.Strategies))
 
-	clk, err := d.AnalyzeClock(fm)
-	if err != nil {
-		return err
-	}
 	fmt.Fprintf(w, "Clocking (Section IV / Fig. 4)\n")
 	fmt.Fprintf(w, "  passive CDN limit     %.0f kHz (why forwarding is needed)\n", clk.PassiveCDNMaxHz/1e3)
 	fmt.Fprintf(w, "  generator candidates  %d healthy edge tiles\n", clk.GeneratorChoices)
@@ -45,10 +73,6 @@ func (d *Design) WriteFullReport(w io.Writer, fm *fault.Map, mcTrials int, seed 
 	fmt.Fprintf(w, "  inverted forwarding   worst duty error %.1f%%\n", clk.InvertedWorst*100)
 	fmt.Fprintf(w, "  inversion + DCC       worst duty error %.1f%%\n\n", clk.DCCWorst*100)
 
-	yld, err := d.AnalyzeYield()
-	if err != nil {
-		return err
-	}
 	fmt.Fprintf(w, "I/O and bonding yield (Section V / Fig. 5)\n")
 	fmt.Fprintf(w, "  chiplet yield         %.2f%% (1 pillar/pad) -> %.3f%% (%d pillars/pad)\n",
 		yld.Comparison.SingleChipletYield*100, yld.Comparison.DualChipletYield*100, d.PillarsPerPad)
@@ -57,7 +81,6 @@ func (d *Design) WriteFullReport(w io.Writer, fm *fault.Map, mcTrials int, seed 
 	fmt.Fprintf(w, "  I/O energy            %.3f pJ/bit\n", yld.EnergyPerBitPJ)
 	fmt.Fprintf(w, "  compute I/O area      %.2f mm2\n\n", yld.IOAreaMM2)
 
-	net := d.AnalyzeNetwork([]int{1, 5, 10}, mcTrials, seed)
 	fmt.Fprintf(w, "Network resiliency (Section VI / Fig. 6, %d trials)\n", mcTrials)
 	fmt.Fprintf(w, "  aggregate bandwidth   %.2f TB/s\n", net.Bandwidth.AggregateBps/1e12)
 	fmt.Fprintf(w, "  %8s  %16s  %16s\n", "faults", "1 net disc.%", "2 nets disc.%")
@@ -66,43 +89,18 @@ func (d *Design) WriteFullReport(w io.Writer, fm *fault.Map, mcTrials int, seed 
 	}
 	fmt.Fprintln(w)
 
-	tst, err := d.AnalyzeTest()
-	if err != nil {
-		return err
-	}
 	fmt.Fprintf(w, "Test infrastructure (Section VII)\n")
 	fmt.Fprintf(w, "  full-wafer load       %v (1 chain) -> %v (%d chains), %.1fx\n",
 		tst.SingleChainLoad.Round(time.Minute), tst.MultiChainLoad.Round(time.Second),
 		d.Cfg.JTAGChains, tst.ChainSpeedup)
 	fmt.Fprintf(w, "  broadcast mode        %.0fx shift-latency reduction\n\n", tst.BroadcastSpeedup)
 
-	sub, err := d.AnalyzeSubstrate()
-	if err != nil {
-		return err
-	}
 	fmt.Fprintf(w, "Substrate (Section VIII)\n")
 	fmt.Fprintf(w, "  reticle exposures     %dx%d (12x6 tiles each, stitched)\n", sub.ReticlesX, sub.ReticlesY)
 	fmt.Fprintf(w, "  tile-pair nets routed %d jog-free, %d DRC violations\n", sub.RoutedNets, sub.DRCViolations)
 	fmt.Fprintf(w, "  1-layer fallback      alive=%v, shared capacity -%.0f%%\n\n",
 		sub.FallbackAlive, sub.FallbackCapacityLoss)
 
-	tr, err := d.AnalyzeTransient()
-	if err != nil {
-		return err
-	}
-	fr, err := d.AnalyzeFrequency()
-	if err != nil {
-		return err
-	}
-	pl, err := d.AnalyzePlacement(fm, 4)
-	if err != nil {
-		return err
-	}
-	kgd, err := d.AnalyzeKGD(0.90)
-	if err != nil {
-		return err
-	}
-	iop := d.AnalyzeIOPower()
 	fmt.Fprintf(w, "Closure checks\n")
 	fmt.Fprintf(w, "  LDO transient         %.0f mV undershoot at Vin=%.2f V (window ok=%v); min decap %.1f nF\n",
 		tr.UndershootV*1000, tr.WorstInputV, tr.InWindow, tr.MinDecapF*1e9)

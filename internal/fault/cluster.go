@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"waferscale/internal/geom"
+	"waferscale/internal/parallel"
 )
 
 // Clustered fault generation. The paper's Fig. 6 Monte Carlo uses
@@ -82,17 +83,22 @@ type ClusteredMonteCarlo struct {
 	Cluster ClusterConfig
 	Trials  int
 	Seed    int64
+	// Workers caps trial parallelism; 0 means GOMAXPROCS.
+	Workers int
 }
 
-// Samples evaluates the metric over clustered fault maps.
+// Samples evaluates the metric over clustered fault maps, trials fanned
+// out on the shared pool with per-trial derived seeds (bit-identical at
+// any worker count).
 func (mc ClusteredMonteCarlo) Samples(faults int, metric Metric) []float64 {
 	if mc.Trials <= 0 {
 		return nil
 	}
 	out := make([]float64, mc.Trials)
-	for i := range out {
-		rng := rand.New(rand.NewSource(trialSeed(mc.Seed, faults, i)))
+	parallel.ForEach(nil, mc.Trials, mc.Workers, func(i int) error {
+		rng := rand.New(rand.NewSource(TrialSeed(mc.Seed, faults, i)))
 		out[i] = metric(Clustered(mc.Grid, faults, mc.Cluster, rng))
-	}
+		return nil
+	})
 	return out
 }

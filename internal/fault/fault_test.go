@@ -307,11 +307,13 @@ func TestMonteCarloDeterminism(t *testing.T) {
 		}
 	}
 	// Different worker counts must not change results.
-	mc.Workers = 1
-	c := mc.Samples(8, metric)
-	for i := range a {
-		if a[i] != c[i] {
-			t.Fatalf("trial %d differs with 1 worker", i)
+	for _, workers := range []int{1, 4} {
+		mc.Workers = workers
+		c := mc.Samples(8, metric)
+		for i := range a {
+			if a[i] != c[i] {
+				t.Fatalf("trial %d differs with %d workers", i, workers)
+			}
 		}
 	}
 }

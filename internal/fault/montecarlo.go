@@ -3,10 +3,9 @@ package fault
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"waferscale/internal/geom"
+	"waferscale/internal/parallel"
 )
 
 // Metric evaluates one fault map and returns a scalar (e.g. the
@@ -43,40 +42,19 @@ func (mc MonteCarlo) Samples(faults int, metric Metric) []float64 {
 	return samples
 }
 
-// ForEachMap invokes fn for every trial's fault map, in parallel, with
-// the same deterministic per-trial seeding as Samples. Use this when a
-// single pass over the map produces several metrics at once; fn must be
-// safe for concurrent calls with distinct trial indices.
+// ForEachMap invokes fn for every trial's fault map on the shared
+// bounded worker pool, with the same deterministic per-trial seeding as
+// Samples. Use this when a single pass over the map produces several
+// metrics at once; fn must be safe for concurrent calls with distinct
+// trial indices. Output is bit-identical at any worker count because
+// each trial draws from its own derived-seed rand.Rand and writes only
+// its own slot.
 func (mc MonteCarlo) ForEachMap(faults int, fn func(trial int, m *Map)) {
-	if mc.Trials <= 0 {
-		return
-	}
-	workers := mc.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > mc.Trials {
-		workers = mc.Trials
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	go func() {
-		for i := 0; i < mc.Trials; i++ {
-			next <- i
-		}
-		close(next)
-	}()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				rng := rand.New(rand.NewSource(trialSeed(mc.Seed, faults, i)))
-				fn(i, Random(mc.Grid, faults, rng))
-			}
-		}()
-	}
-	wg.Wait()
+	parallel.ForEach(nil, mc.Trials, mc.Workers, func(i int) error {
+		rng := rand.New(rand.NewSource(TrialSeed(mc.Seed, faults, i)))
+		fn(i, Random(mc.Grid, faults, rng))
+		return nil
+	})
 }
 
 // Sweep evaluates the metric at each fault count and returns one Stats
@@ -89,10 +67,14 @@ func (mc MonteCarlo) Sweep(faultCounts []int, metric Metric) []Stats {
 	return out
 }
 
-// trialSeed derives a per-trial seed via a splitmix64-style mix so that
-// trials are decorrelated even for adjacent indices.
-func trialSeed(base int64, faults, trial int) int64 {
-	z := uint64(base) ^ uint64(faults)<<32 ^ uint64(trial)
+// TrialSeed derives a per-trial seed from a base seed and a stratum
+// (e.g. the fault or kill count) via a splitmix64-style mix, so trials
+// are decorrelated even for adjacent indices. Every Monte Carlo in the
+// repository (fault maps, chiplet faults, chaos runs) derives its
+// per-trial rand.Rand through this one function, which is what makes
+// the parallel fan-out reproducible per seed.
+func TrialSeed(base int64, stratum, trial int) int64 {
+	z := uint64(base) ^ uint64(stratum)<<32 ^ uint64(trial)
 	z += 0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb

@@ -5,6 +5,7 @@ import (
 
 	"waferscale/internal/fault"
 	"waferscale/internal/geom"
+	"waferscale/internal/parallel"
 )
 
 // Chiplet-granularity fault modelling. Fig. 6's x-axis counts faulty
@@ -254,6 +255,40 @@ func (a *ChipletAnalyzer) AllPairs() PairStats {
 		}
 	}
 	return st
+}
+
+// ChipletFig6Point is one row of the chiplet-granularity Fig. 6 sweep.
+type ChipletFig6Point struct {
+	Chiplets  int // faulty chiplets out of 2*tiles
+	PctSingle fault.Stats
+	PctDual   fault.Stats
+}
+
+// ChipletFig6Sweep is the chiplet-granularity Monte Carlo behind the
+// `waferscale nocmc -chiplet` refinement: for each faulty-chiplet
+// count, the disconnected-pair percentages are averaged over trials
+// random chiplet fault maps. Trials run on the shared bounded pool
+// (workers 0 means GOMAXPROCS) with per-trial seeds derived through
+// fault.TrialSeed, so the curves are bit-identical at any worker count.
+func ChipletFig6Sweep(grid geom.Grid, chipletCounts []int, trials int, seed int64, workers int) []ChipletFig6Point {
+	out := make([]ChipletFig6Point, len(chipletCounts))
+	for ci, n := range chipletCounts {
+		single := make([]float64, trials)
+		dual := make([]float64, trials)
+		parallel.ForEach(nil, trials, workers, func(i int) error {
+			rng := rand.New(rand.NewSource(fault.TrialSeed(seed, n, i)))
+			st := NewChipletAnalyzer(RandomChiplets(grid, n, rng)).AllPairs()
+			single[i] = st.PctSingle()
+			dual[i] = st.PctDual()
+			return nil
+		})
+		out[ci] = ChipletFig6Point{
+			Chiplets:  n,
+			PctSingle: fault.Collect(single),
+			PctDual:   fault.Collect(dual),
+		}
+	}
+	return out
 }
 
 func minInt(a, b int) int {

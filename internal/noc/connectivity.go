@@ -181,9 +181,16 @@ type Fig6Point struct {
 // Fig6Sweep runs the paper's Monte Carlo: for each fault count, average
 // the percentage of disconnected source-destination pairs over randomly
 // generated fault maps, for the conventional single-network scheme and
-// the dual-network scheme.
+// the dual-network scheme. Trials fan out over GOMAXPROCS workers; use
+// Fig6SweepWorkers to bound the pool.
 func Fig6Sweep(grid geom.Grid, faultCounts []int, trials int, seed int64) []Fig6Point {
-	mc := fault.MonteCarlo{Grid: grid, Trials: trials, Seed: seed}
+	return Fig6SweepWorkers(grid, faultCounts, trials, seed, 0)
+}
+
+// Fig6SweepWorkers is Fig6Sweep with an explicit trial-pool bound
+// (0 means GOMAXPROCS). Results are bit-identical at any worker count.
+func Fig6SweepWorkers(grid geom.Grid, faultCounts []int, trials int, seed int64, workers int) []Fig6Point {
+	mc := fault.MonteCarlo{Grid: grid, Trials: trials, Seed: seed, Workers: workers}
 	out := make([]Fig6Point, len(faultCounts))
 	for i, n := range faultCounts {
 		// One pass over each map computes both curves, so the single-

@@ -76,20 +76,28 @@ func (c SimConfig) Validate() error {
 }
 
 // SimStats aggregates delivery statistics.
+//
+// Drop accounting invariant: every lost packet is counted once in
+// Dropped AND once in exactly one of the per-cause counters, so
+//
+//	Dropped == DroppedQueued + DroppedInFlight
+//
+// always holds (tested by TestDropAccountingInvariant).
 type SimStats struct {
 	Injected     int
 	Delivered    int
-	Dropped      int // packets lost to a faulty tile (static map or runtime kill)
+	Dropped      int // total packets lost, all causes
 	TotalLatency int64
 	TotalHops    int
 	MaxLatency   int64
 
 	// Runtime-fault accounting (chaos runs).
-	DroppedQueued int // packets destroyed inside a router killed at runtime
-	RoutersKilled int // KillRouter calls that removed a live router
-	Forwarded     int // packets re-injected at a relay tile (kernel detours)
-	Timeouts      int // remote-op deadlines expired (reported by the machine)
-	BitErrors     int // payloads corrupted by injected transient errors
+	DroppedQueued   int // packets destroyed inside a router killed at runtime
+	DroppedInFlight int // packets lost leaving a router: landing on a faulty/killed tile or routed off-array
+	RoutersKilled   int // KillRouter calls that removed a live router
+	Forwarded       int // packets re-injected at a relay tile (kernel detours)
+	Timeouts        int // remote-op deadlines expired (reported by the machine)
+	BitErrors       int // payloads corrupted by injected transient errors
 }
 
 // AvgLatency returns mean delivery latency in cycles.

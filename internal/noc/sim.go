@@ -173,8 +173,9 @@ func (s *Sim) Forward(net Network, at, newDst geom.Coord, p Packet) error {
 // KillRouter removes the tile's router from both networks between
 // cycles, modelling a tile dying at runtime. Packets queued inside the
 // dead router are destroyed (counted in Dropped and DroppedQueued);
-// packets already in flight toward it are dropped on arrival, exactly
-// like flights into a construction-time faulty tile. In-flight state
+// packets already in flight toward it are dropped on arrival (counted
+// in Dropped and DroppedInFlight), exactly like flights into a
+// construction-time faulty tile. In-flight state
 // elsewhere is untouched. Killing an already-dead or out-of-grid tile
 // is a no-op. It returns the number of queued packets destroyed.
 func (s *Sim) KillRouter(c geom.Coord) int {
@@ -282,6 +283,7 @@ func (s *Sim) stepNet(mn *meshNet) {
 			// Link into a faulty tile: the packet is lost. The kernel's
 			// fault-map routing must make this unreachable.
 			s.stats.Dropped++
+			s.stats.DroppedInFlight++
 			continue
 		}
 		r.in[f.dstPort] = append(r.in[f.dstPort], f.pkt)
@@ -391,6 +393,7 @@ func (s *Sim) stepNet(mn *meshNet) {
 		next := gr.r.at.Step(dirOfPort(gr.outPort))
 		if !s.grid.In(next) {
 			s.stats.Dropped++
+			s.stats.DroppedInFlight++ // left its router, lost in traversal
 			continue
 		}
 		pkt.Hops++

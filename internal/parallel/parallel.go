@@ -1,0 +1,130 @@
+// Package parallel is the shared parallel-execution layer for the
+// analysis engines (PDN solves, Monte Carlo sweeps, chaos trials,
+// design-space exploration). It provides a bounded worker pool sized by
+// GOMAXPROCS with deterministic, ordered fan-in: work item i always
+// writes result slot i, so output is bit-identical regardless of the
+// worker count or goroutine scheduling. Every analysis that fans out
+// through this package therefore stays reproducible per seed — the
+// property the differential tests (parallel == serial) lock in.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 mean
+// GOMAXPROCS; the result is also clamped to at most n work items when
+// n > 0 so no idle goroutines are spawned.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if n > 0 && w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach invokes fn(i) for every i in [0, n) across a bounded pool of
+// workers (0 means GOMAXPROCS; 1 runs inline with no goroutines).
+// Indices are dispatched by an atomic counter, so each is claimed by
+// exactly one worker; callers obtain deterministic output by writing
+// results into slot i of a pre-sized slice.
+//
+// If any fn returns an error, the context handed to the remaining
+// dispatches is cancelled, undispatched indices are skipped, and the
+// error with the LOWEST index is returned — so the reported failure is
+// the same regardless of scheduling. A nil ctx means context.Background.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w := Workers(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     int64 // next index to dispatch
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+		wg       sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil || i < firstIdx {
+			firstErr, firstIdx = err, i
+		}
+		mu.Unlock()
+		cancel() // stop dispatching; in-flight items finish
+	}
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1) - 1)
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Map evaluates fn over [0, n) on the bounded pool and returns the
+// results in index order (ordered fan-in). On error the partial results
+// are discarded and the lowest-index error is returned.
+func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Do runs the given independent tasks concurrently on the bounded pool
+// and waits for all of them; it is ForEach over a task list. Used to
+// overlap unrelated analyses (e.g. the full-report sections).
+func Do(ctx context.Context, workers int, tasks ...func() error) error {
+	return ForEach(ctx, len(tasks), workers, func(i int) error { return tasks[i]() })
+}

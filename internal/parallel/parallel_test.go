@@ -1,0 +1,159 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if w := Workers(0, 100); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0, 100) = %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+	if w := Workers(-3, 100); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3, 100) = %d", w)
+	}
+	if w := Workers(8, 3); w != 3 {
+		t.Errorf("Workers(8, 3) = %d, want clamp to 3 items", w)
+	}
+	if w := Workers(4, 0); w != 4 {
+		t.Errorf("Workers(4, 0) = %d, want 4 (n unknown)", w)
+	}
+	if w := Workers(5, 100); w != 5 {
+		t.Errorf("Workers(5, 100) = %d, want 5", w)
+	}
+}
+
+// TestForEachCoversAllIndices: every index runs exactly once at any
+// worker count.
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		n := 237
+		hits := make([]int32, n)
+		err := ForEach(context.Background(), n, workers, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(int) error { return errors.New("no") }); err != nil {
+		t.Errorf("n=0 should be a no-op, got %v", err)
+	}
+	if err := ForEach(nil, -5, 4, func(int) error { return errors.New("no") }); err != nil {
+		t.Errorf("negative n should be a no-op, got %v", err)
+	}
+}
+
+// TestForEachLowestIndexError: the reported error is the one with the
+// lowest index regardless of scheduling, so failures are deterministic.
+func TestForEachLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), 64, workers, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("item %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 3" {
+			t.Errorf("workers=%d: err = %v, want item 3", workers, err)
+		}
+	}
+}
+
+// TestForEachCancellation: a cancelled context stops dispatch and is
+// reported.
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	err := ForEach(ctx, 1000, 4, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt32(&ran); n > 8 {
+		t.Errorf("%d items ran after cancellation (want at most a few in-flight)", n)
+	}
+}
+
+// TestForEachErrorStopsDispatch: after an error, undispatched work is
+// skipped (the pool drains quickly instead of finishing all n).
+func TestForEachErrorStopsDispatch(t *testing.T) {
+	var ran int32
+	err := ForEach(context.Background(), 100000, 2, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := atomic.LoadInt32(&ran); n == 100000 {
+		t.Error("all items ran despite early failure")
+	}
+}
+
+// TestMapOrderedFanIn: results land in index order independent of the
+// worker count — the determinism contract every analysis relies on.
+func TestMapOrderedFanIn(t *testing.T) {
+	want := make([]int, 500)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 3, 0} {
+		got, err := Map(context.Background(), len(want), workers, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	out, err := Map(context.Background(), 10, 4, func(i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Errorf("Map error: out=%v err=%v, want nil results and an error", out, err)
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b int32
+	err := Do(context.Background(), 0,
+		func() error { atomic.StoreInt32(&a, 1); return nil },
+		func() error { atomic.StoreInt32(&b, 2); return nil },
+	)
+	if err != nil || a != 1 || b != 2 {
+		t.Errorf("Do: a=%d b=%d err=%v", a, b, err)
+	}
+	if err := Do(context.Background(), 2, func() error { return errors.New("x") }); err == nil {
+		t.Error("Do should propagate task errors")
+	}
+}

@@ -123,6 +123,24 @@ func (g *Graph) ReferenceSSSP(src int) []int32 {
 	return dist
 }
 
+// CountMismatches returns the number of indices where got differs from
+// want; a length difference counts every extra index as a mismatch.
+// It is the shared verification primitive the chaos sweeps and the
+// wsim CLI use to score a kernel run against the host oracle.
+func CountMismatches(got, want []int32) int {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	mismatches := len(got) + len(want) - 2*n
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			mismatches++
+		}
+	}
+	return mismatches
+}
+
 // Unweighted returns a copy with all weights 1 (BFS levels = SSSP
 // distances on it).
 func (g *Graph) Unweighted() *Graph {
