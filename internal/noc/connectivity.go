@@ -1,6 +1,8 @@
 package noc
 
 import (
+	"sync"
+
 	"waferscale/internal/fault"
 	"waferscale/internal/geom"
 )
@@ -23,34 +25,59 @@ type Analyzer struct {
 // NewAnalyzer builds the prefix sums for a fault map. The analyzer
 // snapshots the map: later map mutations are not reflected.
 func NewAnalyzer(fm *fault.Map) *Analyzer {
+	a := &Analyzer{}
+	a.Reset(fm)
+	return a
+}
+
+// Reset rebuilds the analyzer's prefix sums for a (possibly different)
+// fault map, reusing the backing arrays whenever the grid shape allows.
+// Monte Carlo loops call this once per trial map instead of paying
+// NewAnalyzer's allocations each time; the zero Analyzer is also a
+// valid Reset target.
+func (a *Analyzer) Reset(fm *fault.Map) {
 	g := fm.Grid()
-	a := &Analyzer{
-		grid:      g,
-		fm:        fm,
-		rowPrefix: make([][]int, g.H),
-		colPrefix: make([][]int, g.W),
+	a.fm = fm
+	if a.grid != g {
+		a.rowPrefix = prefixSlabs(a.rowPrefix, g.H, g.W+1)
+		a.colPrefix = prefixSlabs(a.colPrefix, g.W, g.H+1)
+		a.grid = g
 	}
 	for y := 0; y < g.H; y++ {
-		a.rowPrefix[y] = make([]int, g.W+1)
+		row := a.rowPrefix[y]
 		for x := 0; x < g.W; x++ {
 			v := 0
 			if fm.Faulty(geom.C(x, y)) {
 				v = 1
 			}
-			a.rowPrefix[y][x+1] = a.rowPrefix[y][x] + v
+			row[x+1] = row[x] + v
 		}
 	}
 	for x := 0; x < g.W; x++ {
-		a.colPrefix[x] = make([]int, g.H+1)
+		col := a.colPrefix[x]
 		for y := 0; y < g.H; y++ {
 			v := 0
 			if fm.Faulty(geom.C(x, y)) {
 				v = 1
 			}
-			a.colPrefix[x][y+1] = a.colPrefix[x][y] + v
+			col[y+1] = col[y] + v
 		}
 	}
-	return a
+}
+
+// prefixSlabs returns an outer-by-inner prefix-sum table, reusing old's
+// storage when it is exactly the right shape already (the common case:
+// Reset with a same-sized grid).
+func prefixSlabs(old [][]int, outer, inner int) [][]int {
+	if len(old) == outer && (outer == 0 || len(old[0]) == inner) {
+		return old
+	}
+	t := make([][]int, outer)
+	slab := make([]int, outer*inner)
+	for i := range t {
+		t[i] = slab[i*inner : (i+1)*inner]
+	}
+	return t
 }
 
 // Grid returns the analyzed array shape.
@@ -191,6 +218,10 @@ func Fig6Sweep(grid geom.Grid, faultCounts []int, trials int, seed int64) []Fig6
 // (0 means GOMAXPROCS). Results are bit-identical at any worker count.
 func Fig6SweepWorkers(grid geom.Grid, faultCounts []int, trials int, seed int64, workers int) []Fig6Point {
 	mc := fault.MonteCarlo{Grid: grid, Trials: trials, Seed: seed, Workers: workers}
+	// Each worker recycles an Analyzer via Reset instead of allocating
+	// fresh prefix-sum slabs per trial map (the analyzer is pure scratch;
+	// pooling cannot affect the per-trial results).
+	pool := sync.Pool{New: func() any { return &Analyzer{} }}
 	out := make([]Fig6Point, len(faultCounts))
 	for i, n := range faultCounts {
 		// One pass over each map computes both curves, so the single-
@@ -198,7 +229,10 @@ func Fig6SweepWorkers(grid geom.Grid, faultCounts []int, trials int, seed int64,
 		single := make([]float64, trials)
 		dual := make([]float64, trials)
 		mc.ForEachMap(n, func(trial int, m *fault.Map) {
-			st := NewAnalyzer(m).AllPairs()
+			a := pool.Get().(*Analyzer)
+			a.Reset(m)
+			st := a.AllPairs()
+			pool.Put(a)
 			single[trial] = st.PctSingle()
 			dual[trial] = st.PctDual()
 		})

@@ -6,21 +6,28 @@ import "waferscale/internal/geom"
 // in preference order. The full packet is supplied because turn-model
 // algorithms need the source column; arrivalPort is the input port the
 // packet sits in (portLocal for freshly injected packets).
+//
+// Candidates writes the ports into buf — a caller-provided scratch of
+// at least numPorts entries — and returns how many it wrote, so the
+// switch allocator's inner loop allocates nothing. A policy must never
+// return 0 for an in-grid destination (the packet would wedge).
 type RoutingPolicy interface {
-	Candidates(net Network, p Packet, cur geom.Coord, arrivalPort int) []int
+	Candidates(net Network, p Packet, cur geom.Coord, arrivalPort int, buf []int) int
 }
 
 // DoRPolicy is the prototype's strict dimension-ordered routing: one
 // legal output per packet per network (X-then-Y or Y-then-X).
 type DoRPolicy struct{}
 
-// Candidates returns the single DoR port.
-func (DoRPolicy) Candidates(net Network, p Packet, cur geom.Coord, _ int) []int {
+// Candidates writes the single DoR port.
+func (DoRPolicy) Candidates(net Network, p Packet, cur geom.Coord, _ int, buf []int) int {
 	d, ok := NextHop(net, cur, p.Dst)
 	if !ok {
-		return []int{portLocal}
+		buf[0] = portLocal
+		return 1
 	}
-	return []int{int(d)}
+	buf[0] = int(d)
+	return 1
 }
 
 // OddEvenPolicy is the future-work adaptive scheme (Wu/Chiu odd-even
@@ -43,51 +50,58 @@ func (DoRPolicy) Candidates(net Network, p Packet, cur geom.Coord, _ int) []int 
 //     columns so the later N->W / S->W turn is legal.
 type OddEvenPolicy struct{}
 
-// Candidates returns the legal minimal output ports. When two
+// Candidates writes the legal minimal output ports into buf. When two
 // dimensions are productive, the one with more remaining hops is
 // preferred (dimension balancing); the switch allocator takes whichever
 // candidate has credit.
-func (OddEvenPolicy) Candidates(_ Network, p Packet, cur geom.Coord, _ int) []int {
+func (OddEvenPolicy) Candidates(_ Network, p Packet, cur geom.Coord, _ int, buf []int) int {
 	dst, src := p.Dst, p.Src
 	e0 := dst.X - cur.X
 	e1 := dst.Y - cur.Y
 	if e0 == 0 && e1 == 0 {
-		return []int{portLocal}
+		buf[0] = portLocal
+		return 1
 	}
 	vertical := portN
 	if e1 < 0 {
 		vertical = portS
 	}
-	var out []int
+	n := 0
 	switch {
 	case e0 == 0:
-		out = append(out, vertical)
+		buf[n] = vertical
+		n++
 	case e0 > 0: // eastbound
 		if e1 == 0 {
-			out = append(out, portE)
+			buf[n] = portE
+			n++
 		} else {
 			if cur.X%2 == 1 || cur.X == src.X {
-				out = append(out, vertical)
+				buf[n] = vertical
+				n++
 			}
 			if dst.X%2 == 1 || e0 != 1 {
-				out = append(out, portE)
+				buf[n] = portE
+				n++
 			}
 		}
 	default: // westbound
-		out = append(out, portW)
+		buf[n] = portW
+		n++
 		if e1 != 0 && cur.X%2 == 0 {
-			out = append(out, vertical)
+			buf[n] = vertical
+			n++
 		}
 	}
 	// Dimension balancing: put the longer dimension first.
-	if len(out) == 2 {
+	if n == 2 {
 		dx, dy := abs(e0), abs(e1)
-		firstVertical := out[0] == portN || out[0] == portS
+		firstVertical := buf[0] == portN || buf[0] == portS
 		if (dx > dy) == firstVertical {
-			out[0], out[1] = out[1], out[0]
+			buf[0], buf[1] = buf[1], buf[0]
 		}
 	}
-	return out
+	return n
 }
 
 func abs(x int) int {

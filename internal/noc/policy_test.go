@@ -17,7 +17,9 @@ func TestDoRPolicyMatchesNextHop(t *testing.T) {
 		if netSel {
 			net = YX
 		}
-		c := DoRPolicy{}.Candidates(net, Packet{Dst: dst}, cur, portLocal)
+		var buf [numPorts]int
+		n := DoRPolicy{}.Candidates(net, Packet{Dst: dst}, cur, portLocal, buf[:])
+		c := buf[:n]
 		if len(c) != 1 {
 			return false
 		}
@@ -48,7 +50,9 @@ func TestOddEvenCandidatesMinimalAndLegal(t *testing.T) {
 			if hops > src.Manhattan(dst) {
 				return false // non-minimal path taken
 			}
-			cands := pol.Candidates(XY, p, cur, portLocal)
+			var buf [numPorts]int
+			nc := pol.Candidates(XY, p, cur, portLocal, buf[:])
+			cands := buf[:nc]
 			if len(cands) == 0 {
 				return false // ROUTE must never strand a packet
 			}

@@ -32,15 +32,37 @@ type inFlight struct {
 // (space-) checked forwarding.
 type router struct {
 	at   geom.Coord
-	in   [numPorts][]Packet // input FIFOs (index 0 is the head)
-	rrAt [numPorts]int      // round-robin pointer per output port
+	in   [numPorts]pktFIFO // input FIFOs (ring buffers, FIFODepth each)
+	rrAt [numPorts]int     // round-robin pointer per output port
 }
 
-// meshNet is one of the two physical networks.
+// grant is one switch-allocation decision: move the head packet of
+// (r, inPort) to outPort.
+type grant struct {
+	r       *router
+	inPort  int
+	outPort int
+}
+
+// meshNet is one of the two physical networks. Beyond the routers and
+// the in-flight link population it carries the incrementally maintained
+// occupancy counters and the per-cycle scratch buffers that make
+// stepNet allocation-free:
+//
+//   - inAir[tile*numPorts+port] counts flights destined for that input
+//     FIFO, updated on launch and landing, replacing an O(flights) scan
+//     per credit check;
+//   - reserved[...] holds this cycle's switch-allocation reservations
+//     (zeroed via the touched list after traversal);
+//   - grants is the reusable grant list.
 type meshNet struct {
-	net     Network
-	routers []*router
-	flights []inFlight
+	net      Network
+	routers  []*router
+	flights  []inFlight
+	inAir    []int32
+	reserved []int32
+	touched  []int32
+	grants   []grant
 }
 
 // Sim is the cycle-level simulator of the dual-network waferscale NoC.
@@ -64,6 +86,17 @@ type Sim struct {
 	// buses of both meshes with it). Packets queued behind a down link
 	// wait; they are not lost.
 	linkDown []bool
+
+	// live counts packets currently in the system (queued or in flight,
+	// both networks), so Drained is O(1) instead of a full scan per
+	// RunUntilDrained iteration. Every injection and forward increments
+	// it; every delivery and drop decrements it.
+	live int
+
+	// candBuf is the scratch buffer RoutingPolicy.Candidates writes
+	// into (stepNet runs the two networks sequentially, so one buffer
+	// serves both).
+	candBuf [numPorts]int
 
 	// OnDeliver, when set, observes every delivered packet (after stats
 	// are updated). Used by the functional simulator to implement the
@@ -95,11 +128,28 @@ func NewSim(fm *fault.Map, cfg SimConfig) (*Sim, error) {
 		s.linkUse[n] = make([]int64, g.Size()*geom.NumDirs)
 	}
 	for n := range s.nets {
-		mn := &meshNet{net: Network(n), routers: make([]*router, g.Size())}
+		mn := &meshNet{
+			net:      Network(n),
+			routers:  make([]*router, g.Size()),
+			inAir:    make([]int32, g.Size()*numPorts),
+			reserved: make([]int32, g.Size()*numPorts),
+		}
+		// All routers of a mesh and all their ring buffers come from two
+		// slab allocations, keeping NewSim cheap inside Monte Carlo loops.
+		routers := make([]router, g.Size())
+		slab := make([]Packet, g.Size()*numPorts*cfg.FIFODepth)
 		g.All(func(c geom.Coord) {
-			if fm.Healthy(c) {
-				mn.routers[g.Index(c)] = &router{at: c}
+			if !fm.Healthy(c) {
+				return
 			}
+			i := g.Index(c)
+			r := &routers[i]
+			r.at = c
+			base := i * numPorts * cfg.FIFODepth
+			for p := 0; p < numPorts; p++ {
+				r.in[p].buf = slab[base+p*cfg.FIFODepth : base+(p+1)*cfg.FIFODepth]
+			}
+			mn.routers[i] = r
 		})
 		s.nets[n] = mn
 	}
@@ -116,8 +166,9 @@ func (s *Sim) Stats() SimStats { return s.stats }
 func (s *Sim) Delivered() []Packet { return s.delivered }
 
 // Inject queues a packet at its source tile's local port on the given
-// network. It fails if the source is faulty or the local FIFO is full
-// (caller retries next cycle — modelling injection backpressure).
+// network. It fails if the source is faulty (at construction or killed
+// at runtime) or the local FIFO is full (caller retries next cycle —
+// modelling injection backpressure).
 func (s *Sim) Inject(net Network, src, dst geom.Coord, kind Kind, tag uint32, payload uint64) (uint64, error) {
 	if err := validatePair(s.grid, src, dst); err != nil {
 		return 0, err
@@ -126,7 +177,10 @@ func (s *Sim) Inject(net Network, src, dst geom.Coord, kind Kind, tag uint32, pa
 		return 0, fmt.Errorf("noc: cannot inject from faulty tile %v", src)
 	}
 	r := s.nets[net].routers[s.grid.Index(src)]
-	if len(r.in[portLocal]) >= s.cfg.FIFODepth {
+	if r == nil {
+		return 0, fmt.Errorf("noc: no router at source tile %v (killed at runtime)", src)
+	}
+	if r.in[portLocal].len() >= s.cfg.FIFODepth {
 		return 0, ErrBackpressure
 	}
 	s.nextID++
@@ -134,8 +188,9 @@ func (s *Sim) Inject(net Network, src, dst geom.Coord, kind Kind, tag uint32, pa
 		ID: s.nextID, Kind: kind, Net: net, Src: src, Dst: dst,
 		Tag: tag, Payload: payload, InjectedAt: s.cycle,
 	}
-	r.in[portLocal] = append(r.in[portLocal], p)
+	r.in[portLocal].push(p)
 	s.stats.Injected++
+	s.live++
 	return p.ID, nil
 }
 
@@ -160,13 +215,14 @@ func (s *Sim) Forward(net Network, at, newDst geom.Coord, p Packet) error {
 	if r == nil {
 		return fmt.Errorf("noc: no router at relay tile %v", at)
 	}
-	if len(r.in[portLocal]) >= s.cfg.FIFODepth {
+	if r.in[portLocal].len() >= s.cfg.FIFODepth {
 		return ErrBackpressure
 	}
 	p.Net = net
 	p.Dst = newDst
-	r.in[portLocal] = append(r.in[portLocal], p)
+	r.in[portLocal].push(p)
 	s.stats.Forwarded++
+	s.live++
 	return nil
 }
 
@@ -192,7 +248,7 @@ func (s *Sim) KillRouter(c geom.Coord) int {
 		}
 		killed = true
 		for p := 0; p < numPorts; p++ {
-			dropped += len(r.in[p])
+			dropped += r.in[p].len()
 		}
 		mn.routers[i] = nil
 	}
@@ -200,6 +256,7 @@ func (s *Sim) KillRouter(c geom.Coord) int {
 		s.stats.RoutersKilled++
 		s.stats.Dropped += dropped
 		s.stats.DroppedQueued += dropped
+		s.live -= dropped
 	}
 	return dropped
 }
@@ -240,8 +297,8 @@ func (s *Sim) CorruptPayload(c geom.Coord, mask uint64) bool {
 			continue
 		}
 		for p := 0; p < numPorts; p++ {
-			if len(r.in[p]) > 0 {
-				r.in[p][0].Payload ^= mask
+			if r.in[p].len() > 0 {
+				r.in[p].front().Payload ^= mask
 				s.stats.BitErrors++
 				return true
 			}
@@ -278,53 +335,36 @@ func (s *Sim) stepNet(mn *meshNet) {
 			remaining = append(remaining, f)
 			continue
 		}
-		r := mn.routers[g.Index(f.dstTile)]
+		di := g.Index(f.dstTile)
+		mn.inAir[di*numPorts+f.dstPort]--
+		r := mn.routers[di]
 		if r == nil {
 			// Link into a faulty tile: the packet is lost. The kernel's
 			// fault-map routing must make this unreachable.
 			s.stats.Dropped++
 			s.stats.DroppedInFlight++
+			s.live--
 			continue
 		}
-		r.in[f.dstPort] = append(r.in[f.dstPort], f.pkt)
+		r.in[f.dstPort].push(f.pkt)
 	}
 	mn.flights = remaining
 
 	// Switch allocation: per router, per output port, grant one input
 	// whose head packet requests that port, round-robin over inputs.
 	// Space accounting reserves downstream slots before movement so a
-	// FIFO never overfills within a cycle.
-	type grant struct {
-		r       *router
-		inPort  int
-		outPort int
-	}
-	var grants []grant
-	reserved := map[[2]int]int{} // (net-local router index, port) -> reserved slots
-	spaceFor := func(tile geom.Coord, port int) bool {
-		r := mn.routers[g.Index(tile)]
-		if r == nil {
-			// Faulty destination: allow the move; the packet drops on
-			// arrival (hardware would see an unresponsive link).
-			return true
-		}
-		key := [2]int{g.Index(tile), port}
-		inQueue := len(r.in[port])
-		inAir := 0
-		for _, f := range mn.flights {
-			if f.dstTile == tile && f.dstPort == port {
-				inAir++
-			}
-		}
-		return inQueue+inAir+reserved[key] < s.cfg.FIFODepth
-	}
-	for _, r := range mn.routers {
+	// FIFO never overfills within a cycle. The grant list, reservation
+	// slab and candidate buffer are all reused scratch — this loop
+	// allocates nothing in steady state.
+	grants := mn.grants[:0]
+	for ri, r := range mn.routers {
 		if r == nil {
 			continue
 		}
 		var taken [numPorts]bool // inputs already granted this cycle
+		linkBase := ri * geom.NumDirs
 		for out := 0; out < numPorts; out++ {
-			if out != portLocal && s.linkDown[g.Index(r.at)*geom.NumDirs+out] {
+			if out != portLocal && s.linkDown[linkBase+out] {
 				continue // link out of service: packets wait upstream
 			}
 			// Round-robin: start after the last granted input.
@@ -333,12 +373,12 @@ func (s *Sim) stepNet(mn *meshNet) {
 				if taken[inPort] {
 					continue
 				}
-				q := r.in[inPort]
-				if len(q) == 0 {
+				q := &r.in[inPort]
+				if q.len() == 0 {
 					continue
 				}
-				head := q[0]
-				if !wantsPort(s.Policy.Candidates(mn.net, head, r.at, inPort), out) {
+				nc := s.Policy.Candidates(mn.net, *q.front(), r.at, inPort, s.candBuf[:])
+				if !wantsPort(s.candBuf[:nc], out) {
 					continue
 				}
 				if out == portLocal {
@@ -357,11 +397,12 @@ func (s *Sim) stepNet(mn *meshNet) {
 					taken[inPort] = true
 					break
 				}
-				if !spaceFor(nextTile, int(dirOfPort(out).Opposite())) {
+				slot := int32(g.Index(nextTile)*numPorts + int(dirOfPort(out).Opposite()))
+				if !s.spaceFor(mn, nextTile, slot) {
 					continue // no credit; try another input for this port
 				}
-				key := [2]int{g.Index(nextTile), int(dirOfPort(out).Opposite())}
-				reserved[key]++
+				mn.reserved[slot]++
+				mn.touched = append(mn.touched, slot)
 				grants = append(grants, grant{r, inPort, out})
 				r.rrAt[out] = inPort
 				taken[inPort] = true
@@ -372,8 +413,7 @@ func (s *Sim) stepNet(mn *meshNet) {
 
 	// Traversal: apply the grants.
 	for _, gr := range grants {
-		pkt := gr.r.in[gr.inPort][0]
-		gr.r.in[gr.inPort] = gr.r.in[gr.inPort][1:]
+		pkt := gr.r.in[gr.inPort].pop()
 		if gr.outPort == portLocal {
 			pkt.DeliveredAt = s.cycle
 			s.stats.Delivered++
@@ -382,6 +422,7 @@ func (s *Sim) stepNet(mn *meshNet) {
 			if pkt.Latency() > s.stats.MaxLatency {
 				s.stats.MaxLatency = pkt.Latency()
 			}
+			s.live--
 			if s.RetainDelivered {
 				s.delivered = append(s.delivered, pkt)
 			}
@@ -394,10 +435,12 @@ func (s *Sim) stepNet(mn *meshNet) {
 		if !s.grid.In(next) {
 			s.stats.Dropped++
 			s.stats.DroppedInFlight++ // left its router, lost in traversal
+			s.live--
 			continue
 		}
 		pkt.Hops++
 		s.linkUse[mn.net][g.Index(gr.r.at)*geom.NumDirs+gr.outPort]++
+		mn.inAir[g.Index(next)*numPorts+int(dirOfPort(gr.outPort).Opposite())]++
 		mn.flights = append(mn.flights, inFlight{
 			pkt:     pkt,
 			arrive:  s.cycle + int64(s.cfg.LinkLatency),
@@ -405,6 +448,29 @@ func (s *Sim) stepNet(mn *meshNet) {
 			dstPort: int(dirOfPort(gr.outPort).Opposite()),
 		})
 	}
+	mn.grants = grants[:0]
+
+	// Clear this cycle's reservations (touched may hold duplicates;
+	// zeroing twice is harmless).
+	for _, slot := range mn.touched {
+		mn.reserved[slot] = 0
+	}
+	mn.touched = mn.touched[:0]
+}
+
+// spaceFor reports whether the input FIFO behind slot (= tile*numPorts
+// + port) can absorb one more packet, counting queued packets, packets
+// in flight toward it and this cycle's reservations — all O(1) from
+// the incrementally maintained counters.
+func (s *Sim) spaceFor(mn *meshNet, tile geom.Coord, slot int32) bool {
+	r := mn.routers[s.grid.Index(tile)]
+	if r == nil {
+		// Faulty destination: allow the move; the packet drops on
+		// arrival (hardware would see an unresponsive link).
+		return true
+	}
+	port := int(slot) % numPorts
+	return r.in[port].len()+int(mn.inAir[slot])+int(mn.reserved[slot]) < s.cfg.FIFODepth
 }
 
 // wantsPort reports whether out appears in the candidate list.
@@ -421,7 +487,13 @@ func wantsPort(candidates []int, out int) bool {
 func dirOfPort(p int) geom.Dir { return geom.Dir(p) }
 
 // Drained reports whether no packet remains anywhere in the network.
-func (s *Sim) Drained() bool {
+// The live-packet counter makes this O(1); RunUntilDrained calls it
+// every cycle.
+func (s *Sim) Drained() bool { return s.live == 0 }
+
+// drainedScan is the reference O(routers) drain check the live counter
+// replaced; tests cross-validate the two on every step of chaos runs.
+func (s *Sim) drainedScan() bool {
 	for _, mn := range s.nets {
 		if len(mn.flights) > 0 {
 			return false
@@ -431,7 +503,7 @@ func (s *Sim) Drained() bool {
 				continue
 			}
 			for p := 0; p < numPorts; p++ {
-				if len(r.in[p]) > 0 {
+				if r.in[p].len() > 0 {
 					return false
 				}
 			}
@@ -478,7 +550,7 @@ func (s *Sim) CongestionReport(topK int) string {
 			}
 			n := 0
 			for p := 0; p < numPorts; p++ {
-				n += len(r.in[p])
+				n += r.in[p].len()
 			}
 			if n > 0 {
 				queued += n

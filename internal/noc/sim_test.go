@@ -303,8 +303,8 @@ func TestSimFIFONeverOverflows(t *testing.T) {
 					continue
 				}
 				for p := 0; p < numPorts; p++ {
-					if len(r.in[p]) > 1 {
-						t.Fatalf("FIFO at %v port %d holds %d > depth 1", r.at, p, len(r.in[p]))
+					if r.in[p].len() > 1 {
+						t.Fatalf("FIFO at %v port %d holds %d > depth 1", r.at, p, r.in[p].len())
 					}
 				}
 			}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sort"
 
 	"waferscale/internal/arch"
 	"waferscale/internal/fault"
@@ -88,6 +89,39 @@ type Tile struct {
 	// construction). Its cores are faulted and its banks unreachable;
 	// the struct is kept so the cores' stats and errors stay readable.
 	dead bool
+
+	// run lists the indices of cores that are not halted or faulted, in
+	// ascending order — the per-tile fast path that lets Step skip
+	// parked cores and entirely quiescent tiles instead of touching all
+	// 14×N cores every cycle. A core that stops mid-cycle only marks
+	// runDirty; the list is compacted at the tile's next step so the
+	// in-flight iteration stays stable.
+	run      []int
+	runDirty bool
+}
+
+// compactRun drops stopped cores from the runnable list.
+func (t *Tile) compactRun() {
+	keep := t.run[:0]
+	for _, idx := range t.run {
+		if !t.Cores[idx].Halted() {
+			keep = append(keep, idx)
+		}
+	}
+	t.run = keep
+	t.runDirty = false
+}
+
+// addRunnable inserts a core index into the sorted runnable list (no-op
+// when already present).
+func (t *Tile) addRunnable(idx int) {
+	i := sort.SearchInts(t.run, idx)
+	if i < len(t.run) && t.run[i] == idx {
+		return
+	}
+	t.run = append(t.run, 0)
+	copy(t.run[i+1:], t.run[i:])
+	t.run[i] = idx
 }
 
 // Machine is the whole (or partial) waferscale system.
@@ -130,6 +164,15 @@ type Machine struct {
 	RemoteRequests int64
 	RemoteLatency  int64 // summed cycles from issue to completion
 	BankConflicts  int64
+
+	// running counts cores that are neither halted nor faulted, so
+	// AllHalted is a counter check instead of a 14×N scan per cycle.
+	running int
+	// fullScan disables the runnable-list fast path: Step touches every
+	// core of every tile and AllHalted scans, exactly like the
+	// pre-optimization engine. Differential tests flip this to prove the
+	// fast path is behavior-identical; it is never set in production.
+	fullScan bool
 }
 
 type responseToSend struct {
@@ -243,11 +286,16 @@ func (m *Machine) LoadProgram(tile geom.Coord, core int, words []uint32) error {
 	for i, w := range words {
 		binary.LittleEndian.PutUint32(c.priv[4*i:], w)
 	}
+	wasStopped := c.Halted()
 	c.PC = 0
 	c.Regs = [16]uint32{}
 	c.state = coreRunning
 	c.Err = nil
 	c.Instret = 0
+	if wasStopped {
+		m.running++
+		t.addRunnable(core)
+	}
 	return nil
 }
 
@@ -470,13 +518,47 @@ func (m *Machine) Step() {
 	m.net.Step()
 	m.flushResponses()
 	m.flushForwards()
+	if m.fullScan {
+		m.stepCoresFullScan()
+		return
+	}
 	for _, t := range m.tiles {
 		if t == nil || t.dead {
 			continue
 		}
+		if t.runDirty {
+			t.compactRun()
+		}
+		if len(t.run) == 0 {
+			continue // quiescent tile: every core parked or faulted
+		}
 		// Rotate the stepping order so crossbar-bank arbitration is
 		// fair: with fixed priority, spinning readers on a bank can
 		// starve a later core's write indefinitely (barrier livelock).
+		// The rotation is over the full core index space, so stepping
+		// the runnable subsequence from the first index >= start visits
+		// the same cores in the same order as the full scan.
+		n := len(t.Cores)
+		start := int(m.cycle) % n
+		k := sort.SearchInts(t.run, start)
+		for i, nr := 0, len(t.run); i < nr; i++ {
+			j := k + i
+			if j >= nr {
+				j -= nr
+			}
+			m.stepCore(t, t.Cores[t.run[j]])
+		}
+	}
+}
+
+// stepCoresFullScan is the pre-optimization core loop: every core of
+// every live tile is touched each cycle. Kept as the reference for the
+// fast path's differential tests.
+func (m *Machine) stepCoresFullScan() {
+	for _, t := range m.tiles {
+		if t == nil || t.dead {
+			continue
+		}
 		n := len(t.Cores)
 		start := int(m.cycle) % n
 		for i := 0; i < n; i++ {
@@ -581,8 +663,12 @@ func (m *Machine) Run(maxCycles int64) error {
 	return fmt.Errorf("sim: not halted after %d cycles", maxCycles)
 }
 
-// AllHalted reports whether every core is halted or faulted.
+// AllHalted reports whether every core is halted or faulted — an O(1)
+// counter check (the full scan survives under the fullScan test flag).
 func (m *Machine) AllHalted() bool {
+	if !m.fullScan {
+		return m.running == 0
+	}
 	for _, t := range m.tiles {
 		if t == nil {
 			continue
@@ -623,6 +709,18 @@ func (m *Machine) AvgRemoteLatency() float64 {
 func (m *Machine) fault(c *Core, format string, args ...any) {
 	c.Err = fmt.Errorf(format, args...)
 	c.state = coreFaulted
+	m.coreStopped(c)
+}
+
+// coreStopped books a running → halted/faulted transition: the machine
+// counter backs O(1) AllHalted and the tile's runnable list is marked
+// for compaction. Callers must only invoke it for cores that were not
+// already stopped.
+func (m *Machine) coreStopped(c *Core) {
+	m.running--
+	if t := m.tiles[m.grid.Index(c.tile)]; t != nil {
+		t.runDirty = true
+	}
 }
 
 func (m *Machine) stepCore(t *Tile, c *Core) {
@@ -668,6 +766,7 @@ func (m *Machine) execute(t *Tile, c *Core) {
 	case OpNop:
 	case OpHalt:
 		c.state = coreHalted
+		m.coreStopped(c)
 		c.Instret++
 		return
 	case OpLI:

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs the cycle-engine benchmarks (NoC packet simulation, throughput
+# sweep, graph workloads, chaos survival) and records the results as
+# JSON in BENCH_noc.json so CI and successive optimization PRs can
+# track ns/op and allocs/op over time.
+#
+# Environment knobs:
+#   BENCH_PATTERN  benchmark regexp   (default: the four cycle-engine benches)
+#   BENCH_TIME     -benchtime value   (default: 1s; CI uses 1x for a smoke run)
+#   BENCH_COUNT    -count value       (default: 1)
+#   BENCH_OUT      output JSON path   (default: BENCH_noc.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATTERN="${BENCH_PATTERN:-BenchmarkFig7PacketSim|BenchmarkNoCThroughput|BenchmarkE1GraphWorkloads|BenchmarkChaosBFSSurvival}"
+TIME="${BENCH_TIME:-1s}"
+COUNT="${BENCH_COUNT:-1}"
+OUT="${BENCH_OUT:-BENCH_noc.json}"
+
+raw=$(go test -run='^$' -bench="$PATTERN" -benchtime="$TIME" -benchmem -count="$COUNT" .)
+echo "$raw"
+
+echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { printf "{\n  \"date\": \"%s\",\n  \"benchmarks\": [\n", date; n = 0 }
+# Benchmarks may emit extra ReportMetric columns between ns/op and
+# B/op, so locate each value by its unit suffix instead of position.
+/^Benchmark/ && /ns\/op/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = b = al = "null"
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i-1)
+        else if ($i == "B/op") b = $(i-1)
+        else if ($i == "allocs/op") al = $(i-1)
+    }
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+        name, $2, ns, b, al
+}
+END { print "\n  ]\n}" }
+' > "$OUT"
+echo "wrote $OUT"
