@@ -189,7 +189,17 @@ func BenchmarkFig6DisconnectedPairs(b *testing.B) {
 // BenchmarkFig7PacketSim drives request/response traffic through the
 // dual-network cycle simulator (paper Fig. 7: requests on one network,
 // responses on the complement over the same tiles).
-func BenchmarkFig7PacketSim(b *testing.B) {
+func BenchmarkFig7PacketSim(b *testing.B) { benchFig7PacketSim(b, 1) }
+
+// Sharded variants of the same workload: identical traffic and
+// bit-identical statistics, stepped by 2/4/8 spatial shards. Compare
+// ns/op against the serial baseline for the speedup (>= 1.5x at 4
+// shards on a >= 4-core host; no speedup is possible on fewer cores).
+func BenchmarkFig7PacketSimShard2(b *testing.B) { benchFig7PacketSim(b, 2) }
+func BenchmarkFig7PacketSimShard4(b *testing.B) { benchFig7PacketSim(b, 4) }
+func BenchmarkFig7PacketSimShard8(b *testing.B) { benchFig7PacketSim(b, 8) }
+
+func benchFig7PacketSim(b *testing.B, shards int) {
 	fm := fault.NewMap(geom.NewGrid(16, 16))
 	rng := rand.New(rand.NewSource(7))
 	var avgLat float64
@@ -198,6 +208,7 @@ func BenchmarkFig7PacketSim(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		s.Shards = shards
 		s.OnDeliver = func(p noc.Packet) {
 			if p.Kind == noc.Request {
 				s.Inject(p.Net.Complement(), p.Dst, p.Src, noc.Response, p.Tag, p.Payload)
@@ -213,6 +224,7 @@ func BenchmarkFig7PacketSim(b *testing.B) {
 			b.Fatal(err)
 		}
 		avgLat = s.Stats().AvgLatency()
+		s.Close()
 	}
 	b.ReportMetric(avgLat, "avgLatencyCyc")
 }
@@ -326,7 +338,15 @@ func BenchmarkSec8SubstrateRoute(b *testing.B) {
 // BenchmarkE1GraphWorkloads runs the BFS validation workload as a
 // WS-ISA program on a 4x4-tile machine (the paper's FPGA-emulation
 // stand-in) and verifies against the host reference.
-func BenchmarkE1GraphWorkloads(b *testing.B) {
+func BenchmarkE1GraphWorkloads(b *testing.B) { benchE1GraphWorkloads(b, 1) }
+
+// Sharded variants: the same BFS run stepped by 2/4 spatial shards of
+// the machine's core loop and NoC (bit-identical result and cycle
+// count). 8 shards would exceed the 4-row grid, so the curve stops at 4.
+func BenchmarkE1GraphWorkloadsShard2(b *testing.B) { benchE1GraphWorkloads(b, 2) }
+func BenchmarkE1GraphWorkloadsShard4(b *testing.B) { benchE1GraphWorkloads(b, 4) }
+
+func benchE1GraphWorkloads(b *testing.B, shards int) {
 	cfg := arch.DefaultConfig()
 	cfg.TilesX, cfg.TilesY, cfg.CoresPerTile, cfg.JTAGChains = 4, 4, 4, 4
 	g := sim.GridGraph(8, 8).Unweighted()
@@ -337,6 +357,8 @@ func BenchmarkE1GraphWorkloads(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		m.Shards = shards
+		m.Net().Shards = shards
 		res, err := sim.RunBFS(m, g, 0, sim.AllWorkers(m, 16), 50_000_000)
 		if err != nil {
 			b.Fatal(err)
@@ -347,6 +369,7 @@ func BenchmarkE1GraphWorkloads(b *testing.B) {
 			}
 		}
 		cycles = res.Cycles
+		m.Close()
 	}
 	b.ReportMetric(float64(cycles), "machineCycles")
 }
@@ -451,10 +474,19 @@ func BenchmarkSec7AKGDScreening(b *testing.B) {
 
 // BenchmarkNoCThroughput measures the latency-throughput curve of the
 // dual mesh under uniform random traffic.
-func BenchmarkNoCThroughput(b *testing.B) {
+func BenchmarkNoCThroughput(b *testing.B) { benchNoCThroughput(b, 1) }
+
+// Sharded variants of the throughput sweep (same curve, bit-identical
+// points, 2/4/8 spatial shards stepping each rate's sim).
+func BenchmarkNoCThroughputShard2(b *testing.B) { benchNoCThroughput(b, 2) }
+func BenchmarkNoCThroughputShard4(b *testing.B) { benchNoCThroughput(b, 4) }
+func BenchmarkNoCThroughputShard8(b *testing.B) { benchNoCThroughput(b, 8) }
+
+func benchNoCThroughput(b *testing.B, shards int) {
 	fm := fault.NewMap(geom.NewGrid(8, 8))
 	cfg := noc.DefaultThroughputConfig()
 	cfg.WarmupCycles, cfg.MeasureCycles = 200, 600
+	cfg.Shards = shards
 	var pts []noc.ThroughputPoint
 	for i := 0; i < b.N; i++ {
 		var err error

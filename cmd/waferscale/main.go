@@ -404,13 +404,18 @@ func cmdThroughput(args []string) error {
 	side := fs.Int("side", 8, "array side")
 	faults := fs.Int("faults", 0, "random faulty tiles")
 	seed := fs.Int64("seed", 1, "random seed")
+	shards := fs.Int("shards", 1, "spatial shards stepping the mesh per cycle (1 = serial engine)")
+	shardWorkers := fs.Int("shard-workers", 0, "host goroutines per sharded sim (0 = min(shards, GOMAXPROCS))")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	grid := geom.NewGrid(*side, *side)
 	fm := fault.Random(grid, *faults, rand.New(rand.NewSource(*seed)))
 	rates := []float64{0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0}
-	pts, err := noc.MeasureThroughput(fm, noc.DefaultThroughputConfig(), rates)
+	tcfg := noc.DefaultThroughputConfig()
+	tcfg.Shards = *shards
+	tcfg.ShardWorkers = *shardWorkers
+	pts, err := noc.MeasureThroughput(fm, tcfg, rates)
 	if err != nil {
 		return err
 	}
@@ -513,6 +518,8 @@ func cmdChaos(args []string) error {
 	maxCycles := fs.Int64("max-cycles", 400_000, "per-trial cycle budget (never-hang bound)")
 	graphSide := fs.Int("graph", 8, "BFS mesh graph side")
 	hostWorkers := fs.Int("host-workers", 0, "host goroutines running trials (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 1, "spatial shards stepping each trial machine per cycle (1 = serial engine)")
+	shardWorkers := fs.Int("shard-workers", 0, "host goroutines per sharded machine (0 = min(shards, GOMAXPROCS))")
 	cfgPath := fs.String("config", "", "JSON config file overriding the prototype design")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -530,6 +537,8 @@ func cmdChaos(args []string) error {
 	cfg.MaxCycles = *maxCycles
 	cfg.GraphSide = *graphSide
 	cfg.TrialWorkers = *hostWorkers
+	cfg.Shards = *shards
+	cfg.ShardWorkers = *shardWorkers
 	cfg.Kills = cfg.Kills[:0]
 	for _, f := range strings.Split(*kills, ",") {
 		k, err := strconv.Atoi(strings.TrimSpace(f))

@@ -43,15 +43,17 @@ func main() {
 	faultAt := flag.Int64("fault-at-cycle", 1000, "cycle the kills land at")
 	trials := flag.Int("trials", 1, "fault-survival trials (with -faults; each draws fresh victims)")
 	hostWorkers := flag.Int("host-workers", 0, "host goroutines running trials (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 1, "spatial shards stepping the wafer per cycle (1 = serial engine)")
+	shardWorkers := flag.Int("shard-workers", 0, "host goroutines per sharded machine (0 = min(shards, GOMAXPROCS))")
 	flag.Parse()
 
 	var err error
 	if *trials > 1 {
 		err = runTrials(*workload, *side, *cores, *vertices, *edges, *workers, *src, *seed, *maxCycles,
-			*faults, *faultSeed, *faultAt, *trials, *hostWorkers)
+			*faults, *faultSeed, *faultAt, *trials, *hostWorkers, *shards, *shardWorkers)
 	} else {
 		err = run(*workload, *side, *cores, *vertices, *edges, *workers, *src, *seed, *maxCycles, *profile,
-			*faults, *faultSeed, *kill, *faultAt)
+			*faults, *faultSeed, *kill, *faultAt, *shards, *shardWorkers)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wsim: %v\n", err)
@@ -105,7 +107,7 @@ func buildSchedule(grid geom.Grid, faults int, faultSeed int64, kill string, at 
 }
 
 func run(workload string, side, cores, vertices, edges, workers, src int, seed, maxCycles int64, profile bool,
-	faults int, faultSeed int64, kill string, faultAt int64) error {
+	faults int, faultSeed int64, kill string, faultAt int64, shards, shardWorkers int) error {
 	cfg := arch.DefaultConfig()
 	cfg.TilesX, cfg.TilesY = side, side
 	cfg.CoresPerTile = cores
@@ -117,6 +119,9 @@ func run(workload string, side, cores, vertices, edges, workers, src int, seed, 
 	if err != nil {
 		return err
 	}
+	m.Shards = shards
+	m.Workers = shardWorkers
+	defer m.Close()
 	sched, err := buildSchedule(cfg.Grid(), faults, faultSeed, kill, faultAt)
 	if err != nil {
 		return err
@@ -176,7 +181,7 @@ func run(workload string, side, cores, vertices, edges, workers, src int, seed, 
 // fault.TrialSeed, so the survival counts are identical at any
 // -host-workers value.
 func runTrials(workload string, side, cores, vertices, edges, workers, src int, seed, maxCycles int64,
-	faults int, faultSeed, faultAt int64, trials, hostWorkers int) error {
+	faults int, faultSeed, faultAt int64, trials, hostWorkers, shards, shardWorkers int) error {
 	if workload != "bfs" && workload != "sssp" {
 		return fmt.Errorf("-trials supports bfs|sssp, not %q", workload)
 	}
@@ -200,6 +205,16 @@ func runTrials(workload string, side, cores, vertices, edges, workers, src int, 
 	fmt.Printf("%s under faults: %d trials x %d kills, %d vertices, %d workers on a %dx%d machine\n",
 		workload, trials, faults, g.N, workers, side, side)
 
+	if shards > 1 && hostWorkers <= 0 {
+		// Per-cycle sharding inside each trial multiplies goroutine
+		// demand; narrow the trial pool so the two levels compose
+		// without oversubscribing the host.
+		hostWorkers = parallel.Workers(0, 0) / parallel.Workers(shardWorkers, shards)
+		if hostWorkers < 1 {
+			hostWorkers = 1
+		}
+	}
+
 	type outcome struct {
 		completed bool
 		verified  bool
@@ -210,6 +225,9 @@ func runTrials(workload string, side, cores, vertices, edges, workers, src int, 
 		if err != nil {
 			return outcome{}, err
 		}
+		m.Shards = shards
+		m.Workers = shardWorkers
+		defer m.Close()
 		sched := inject.Random(cfg.Grid(), faults, [2]int64{faultAt, faultAt},
 			fault.TrialSeed(faultSeed, faults, i), nil)
 		if err := m.AttachSchedule(sched); err != nil {

@@ -32,6 +32,14 @@ type ChaosConfig struct {
 	// (0 = GOMAXPROCS). Workers above is the number of *simulated* BFS
 	// worker cores, a property of the experiment, not the host.
 	TrialWorkers int
+	// Shards/ShardWorkers shard each trial machine's cycle engine (core
+	// loop and NoC) spatially — see sim.Machine.Shards. Per-trial
+	// parallelism and per-cycle sharding compose: when Shards > 1 and
+	// TrialWorkers is left 0, the trial pool is narrowed to
+	// GOMAXPROCS/ShardWorkers so the two levels do not oversubscribe
+	// the host. Results are bit-identical at any setting.
+	Shards       int
+	ShardWorkers int
 }
 
 // DefaultChaosConfig returns the standard sweep: an 8x8 machine running
@@ -120,10 +128,22 @@ func (d *Design) RunChaos(cfg ChaosConfig) ([]ChaosPoint, error) {
 	g := sim.GridGraph(cfg.GraphSide, cfg.GraphSide).Unweighted()
 	want := g.ReferenceSSSP(0)
 
+	trialWorkers := cfg.TrialWorkers
+	if cfg.Shards > 1 && trialWorkers <= 0 {
+		// Per-cycle sharding multiplies each trial's goroutine demand;
+		// narrow the trial pool so trials x shard-gang stays within
+		// GOMAXPROCS instead of oversubscribing the host.
+		perTrial := parallel.Workers(cfg.ShardWorkers, cfg.Shards)
+		trialWorkers = parallel.Workers(0, 0) / perTrial
+		if trialWorkers < 1 {
+			trialWorkers = 1
+		}
+	}
+
 	points := make([]ChaosPoint, 0, len(cfg.Kills))
 	for _, kills := range cfg.Kills {
 		trials := make([]chaosTrial, cfg.Trials)
-		err := parallel.ForEach(nil, cfg.Trials, cfg.TrialWorkers, func(i int) error {
+		err := parallel.ForEach(nil, cfg.Trials, trialWorkers, func(i int) error {
 			t, err := d.runChaosTrial(cfg, g, want, kills, i)
 			if err != nil {
 				return err
@@ -163,6 +183,9 @@ func (d *Design) runChaosTrial(cfg ChaosConfig, g *sim.Graph, want []int32, kill
 	if err != nil {
 		return chaosTrial{}, err
 	}
+	m.Shards = cfg.Shards
+	m.Workers = cfg.ShardWorkers
+	defer m.Close()
 	sched := inject.Random(m.Cfg.Grid(), kills, cfg.KillWindow, fault.TrialSeed(cfg.Seed, kills, trial), nil)
 	if err := m.AttachSchedule(sched); err != nil {
 		return chaosTrial{}, err

@@ -11,6 +11,13 @@ import "waferscale/internal/geom"
 // at least numPorts entries — and returns how many it wrote, so the
 // switch allocator's inner loop allocates nothing. A policy must never
 // return 0 for an in-grid destination (the packet would wedge).
+//
+// When Sim.Shards > 1 the switch allocator calls Candidates from
+// multiple goroutines in the same cycle (each with its own buf), so a
+// policy must be safe for concurrent use. Stateless policies — both
+// DoRPolicy and OddEvenPolicy — satisfy this trivially; a policy that
+// keeps per-call mutable state must either synchronize it or be used
+// with the serial engine only.
 type RoutingPolicy interface {
 	Candidates(net Network, p Packet, cur geom.Coord, arrivalPort int, buf []int) int
 }

@@ -6,6 +6,7 @@ import (
 
 	"waferscale/internal/fault"
 	"waferscale/internal/geom"
+	"waferscale/internal/parallel"
 )
 
 // Port indices inside a router: the four mesh directions plus the
@@ -106,6 +107,46 @@ type Sim struct {
 	delivered []Packet // retained when RetainDelivered is true
 	// RetainDelivered keeps every delivered packet for inspection.
 	RetainDelivered bool
+
+	// Shards partitions the tile grid into that many contiguous row
+	// bands whose switch allocation runs concurrently (<= 1 keeps the
+	// serial engine). Results are bit-identical to the serial engine at
+	// any shard or worker count: allocation only reads state frozen for
+	// the cycle plus per-band scratch, every (tile, port) reservation
+	// slot has exactly one possible writer router, and grants are
+	// committed serially in band order — which is exactly the serial
+	// engine's ascending router order. See EXPERIMENTS.md ("Sharded
+	// cycle engine") for when this beats per-trial parallelism.
+	Shards int
+	// Workers caps the gang width driving the shard bands (0 =
+	// GOMAXPROCS, clamped to Shards). Purely a wall-clock knob.
+	Workers int
+	se      *shardEngine
+}
+
+// nocBand is one contiguous row band of the sharded allocator with its
+// private scratch. The pad keeps neighboring bands' append-mutated
+// slice headers off a shared cache line.
+type nocBand struct {
+	lo, hi  int // router index range [lo, hi)
+	grants  []grant
+	touched []int32
+	cand    [numPorts]int
+	_       [64]byte
+}
+
+// shardEngine is the lazily built parallel stepping state: the band
+// decomposition plus the persistent worker gang that releases once per
+// (cycle, network).
+type shardEngine struct {
+	shards  int
+	workers int
+	gang    *parallel.Gang
+	bands   []nocBand
+	// curNet is the network the hoisted allocFn closure works on; set
+	// before each gang.Run so the per-cycle loop allocates nothing.
+	curNet  *meshNet
+	allocFn func(b int)
 }
 
 // NewSim builds a simulator over a fault map. Routers are instantiated
@@ -162,8 +203,15 @@ func (s *Sim) Cycle() int64 { return s.cycle }
 // Stats returns a copy of the running statistics.
 func (s *Sim) Stats() SimStats { return s.stats }
 
-// Delivered returns retained packets (RetainDelivered must be set).
-func (s *Sim) Delivered() []Packet { return s.delivered }
+// Delivered returns a copy of the retained packets (RetainDelivered
+// must be set). Callers get their own slice, so the simulator's
+// delivered-packet history cannot be corrupted through the return
+// value.
+func (s *Sim) Delivered() []Packet {
+	out := make([]Packet, len(s.delivered))
+	copy(out, s.delivered)
+	return out
+}
 
 // Inject queues a packet at its source tile's local port on the given
 // network. It fails if the source is faulty (at construction or killed
@@ -314,8 +362,90 @@ func (s *Sim) CountTimeout() { s.stats.Timeouts++ }
 // Step advances the simulation one cycle.
 func (s *Sim) Step() {
 	s.cycle++
+	if s.Shards > 1 {
+		s.stepSharded()
+		return
+	}
 	for _, mn := range s.nets {
 		s.stepNet(mn)
+	}
+}
+
+// Close releases the worker goroutines behind a sharded simulator. It
+// is a no-op for serial sims and idempotent; the sim remains usable
+// (stepping re-creates the gang on demand).
+func (s *Sim) Close() {
+	if s.se != nil {
+		s.se.gang.Close()
+		s.se = nil
+	}
+}
+
+// sharding returns the shard engine for the current Shards/Workers
+// settings, (re)building bands and gang when the knobs changed.
+func (s *Sim) sharding() *shardEngine {
+	shards := s.Shards
+	if shards > s.grid.H {
+		shards = s.grid.H // at most one band per row
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	workers := parallel.Workers(s.Workers, shards)
+	if se := s.se; se != nil && se.shards == shards && se.workers == workers {
+		return se
+	}
+	s.Close()
+	se := &shardEngine{
+		shards:  shards,
+		workers: workers,
+		gang:    parallel.NewGang(workers),
+		bands:   make([]nocBand, shards),
+	}
+	for b := 0; b < shards; b++ {
+		se.bands[b].lo = b * s.grid.H / shards * s.grid.W
+		se.bands[b].hi = (b + 1) * s.grid.H / shards * s.grid.W
+	}
+	se.allocFn = func(b int) {
+		sh := &se.bands[b]
+		sh.grants, sh.touched = s.allocate(se.curNet, sh.lo, sh.hi,
+			sh.grants[:0], sh.touched[:0], sh.cand[:])
+	}
+	s.se = se
+	return se
+}
+
+// stepSharded is the parallel variant of the per-cycle loop. The phase
+// order of the serial engine is preserved exactly — per network: land,
+// allocate, traverse — with only the allocation phase fanned out over
+// the row bands. Landing and traversal stay on the caller: they mutate
+// global state (stats, live counter, flight list, user callbacks) whose
+// serial ordering is part of the determinism contract.
+func (s *Sim) stepSharded() {
+	se := s.sharding()
+	for _, mn := range s.nets {
+		s.landFlights(mn)
+		// Phase 1 (parallel): switch allocation per band. Each band
+		// reads FIFO occupancy and flight/reservation counters frozen
+		// for this cycle and writes only its own routers' round-robin
+		// state, its private grant/touched scratch, and reservation
+		// slots no other band can claim (a slot's unique writer is the
+		// neighboring router upstream of it).
+		se.curNet = mn
+		se.gang.Run(len(se.bands), se.allocFn)
+		// Phase 2 (serial commit): apply grants in band order — the
+		// concatenation is exactly the serial engine's ascending router
+		// order, so delivery order, stats and callbacks are identical.
+		for b := range se.bands {
+			s.traverse(mn, se.bands[b].grants)
+		}
+		for b := range se.bands {
+			sh := &se.bands[b]
+			for _, slot := range sh.touched {
+				mn.reserved[slot] = 0
+			}
+			sh.touched = sh.touched[:0]
+		}
 	}
 }
 
@@ -326,9 +456,24 @@ func (s *Sim) StepN(n int) {
 	}
 }
 
+// stepNet advances one network one cycle on the serial engine:
+// land, allocate over the full router range, traverse, clear.
 func (s *Sim) stepNet(mn *meshNet) {
+	s.landFlights(mn)
+	mn.grants, mn.touched = s.allocate(mn, 0, len(mn.routers),
+		mn.grants[:0], mn.touched[:0], s.candBuf[:])
+	s.traverse(mn, mn.grants)
+	// Clear this cycle's reservations (touched may hold duplicates;
+	// zeroing twice is harmless).
+	for _, slot := range mn.touched {
+		mn.reserved[slot] = 0
+	}
+	mn.touched = mn.touched[:0]
+}
+
+// landFlights lands in-flight packets whose link delay elapsed.
+func (s *Sim) landFlights(mn *meshNet) {
 	g := s.grid
-	// Land in-flight packets whose link delay elapsed.
 	remaining := mn.flights[:0]
 	for _, f := range mn.flights {
 		if f.arrive > s.cycle {
@@ -349,15 +494,21 @@ func (s *Sim) stepNet(mn *meshNet) {
 		r.in[f.dstPort].push(f.pkt)
 	}
 	mn.flights = remaining
+}
 
-	// Switch allocation: per router, per output port, grant one input
-	// whose head packet requests that port, round-robin over inputs.
-	// Space accounting reserves downstream slots before movement so a
-	// FIFO never overfills within a cycle. The grant list, reservation
-	// slab and candidate buffer are all reused scratch — this loop
-	// allocates nothing in steady state.
-	grants := mn.grants[:0]
-	for ri, r := range mn.routers {
+// allocate runs switch allocation for routers [lo, hi): per router, per
+// output port, grant one input whose head packet requests that port,
+// round-robin over inputs. Space accounting reserves downstream slots
+// before movement so a FIFO never overfills within a cycle. The grant
+// list, touched list and candidate buffer are caller-owned reused
+// scratch — this loop allocates nothing in steady state and, because it
+// only reads cycle-frozen state and writes band-local scratch plus
+// single-writer reservation slots, disjoint ranges may run concurrently
+// (the sharded engine relies on this).
+func (s *Sim) allocate(mn *meshNet, lo, hi int, grants []grant, touched []int32, cand []int) ([]grant, []int32) {
+	g := s.grid
+	for ri := lo; ri < hi; ri++ {
+		r := mn.routers[ri]
 		if r == nil {
 			continue
 		}
@@ -377,8 +528,8 @@ func (s *Sim) stepNet(mn *meshNet) {
 				if q.len() == 0 {
 					continue
 				}
-				nc := s.Policy.Candidates(mn.net, *q.front(), r.at, inPort, s.candBuf[:])
-				if !wantsPort(s.candBuf[:nc], out) {
+				nc := s.Policy.Candidates(mn.net, *q.front(), r.at, inPort, cand)
+				if !wantsPort(cand[:nc], out) {
 					continue
 				}
 				if out == portLocal {
@@ -402,7 +553,7 @@ func (s *Sim) stepNet(mn *meshNet) {
 					continue // no credit; try another input for this port
 				}
 				mn.reserved[slot]++
-				mn.touched = append(mn.touched, slot)
+				touched = append(touched, slot)
 				grants = append(grants, grant{r, inPort, out})
 				r.rrAt[out] = inPort
 				taken[inPort] = true
@@ -410,8 +561,14 @@ func (s *Sim) stepNet(mn *meshNet) {
 			}
 		}
 	}
+	return grants, touched
+}
 
-	// Traversal: apply the grants.
+// traverse applies the grants in list order: ejections update stats and
+// fire OnDeliver, link crossings launch flights. It must run serially —
+// list order is the delivery order the determinism contract pins.
+func (s *Sim) traverse(mn *meshNet, grants []grant) {
+	g := s.grid
 	for _, gr := range grants {
 		pkt := gr.r.in[gr.inPort].pop()
 		if gr.outPort == portLocal {
@@ -448,14 +605,6 @@ func (s *Sim) stepNet(mn *meshNet) {
 			dstPort: int(dirOfPort(gr.outPort).Opposite()),
 		})
 	}
-	mn.grants = grants[:0]
-
-	// Clear this cycle's reservations (touched may hold duplicates;
-	// zeroing twice is harmless).
-	for _, slot := range mn.touched {
-		mn.reserved[slot] = 0
-	}
-	mn.touched = mn.touched[:0]
 }
 
 // spaceFor reports whether the input FIFO behind slot (= tile*numPorts
@@ -535,7 +684,12 @@ func (s *Sim) RunUntilDrained(maxCycles int) error {
 // CongestionReport summarizes where packets are stuck: per network, the
 // in-flight link population, the number of routers holding packets, the
 // total queued, and the topK routers by queue depth with coordinates.
+// topK <= 0 lists no per-router detail; topK beyond the router count
+// lists every congested router.
 func (s *Sim) CongestionReport(topK int) string {
+	if topK < 0 {
+		topK = 0
+	}
 	out := ""
 	for _, mn := range s.nets {
 		type stuck struct {

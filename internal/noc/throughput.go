@@ -28,6 +28,11 @@ type ThroughputConfig struct {
 	WarmupCycles  int
 	MeasureCycles int
 	Seed          int64
+	// Shards/ShardWorkers enable the sharded cycle engine for each
+	// simulated rate point (see Sim.Shards); results are bit-identical
+	// to the serial sweep at any setting.
+	Shards       int
+	ShardWorkers int
 }
 
 // DefaultThroughputConfig returns a steady-state measurement window.
@@ -51,6 +56,8 @@ func MeasureThroughput(fm *fault.Map, cfg ThroughputConfig, rates []float64) ([]
 		if err != nil {
 			return nil, err
 		}
+		s.Shards = cfg.Shards
+		s.Workers = cfg.ShardWorkers
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		var (
 			measuring         bool
@@ -89,6 +96,7 @@ func MeasureThroughput(fm *fault.Map, cfg ThroughputConfig, rates []float64) ([]
 			}
 			s.Step()
 		}
+		s.Close()
 		_ = measureStart
 		window := float64(cfg.MeasureCycles) * float64(len(healthy))
 		pt := ThroughputPoint{

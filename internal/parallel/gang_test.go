@@ -1,0 +1,145 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestGangRunsAllTasks checks every task index is executed exactly once
+// across many reuses of the same gang, for widths below, at, and above
+// the task count.
+func TestGangRunsAllTasks(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		g := NewGang(workers)
+		for _, tasks := range []int{0, 1, 2, 3, 7, 16, 33} {
+			hits := make([]int32, tasks)
+			for rep := 0; rep < 50; rep++ {
+				for i := range hits {
+					hits[i] = 0
+				}
+				g.Run(tasks, func(task int) {
+					atomic.AddInt32(&hits[task], 1)
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("workers=%d tasks=%d rep=%d: task %d ran %d times", workers, tasks, rep, i, h)
+					}
+				}
+			}
+		}
+		g.Close()
+	}
+}
+
+// TestGangStaticAssignment verifies task t is always executed by gang
+// worker t%workers: per-task slots written without synchronization must
+// stay race-free (the -race run enforces this) and results must be
+// deterministic.
+func TestGangStaticAssignment(t *testing.T) {
+	const tasks = 29
+	g := NewGang(4)
+	defer g.Close()
+	out := make([]int, tasks)
+	for rep := 0; rep < 200; rep++ {
+		g.Run(tasks, func(task int) {
+			out[task] = task * task // per-task slot, no sync needed
+		})
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("rep %d: slot %d = %d, want %d", rep, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestGangBarrier checks Run does not return until every task has
+// finished: all increments must be visible to the caller.
+func TestGangBarrier(t *testing.T) {
+	g := NewGang(6)
+	defer g.Close()
+	var sum int64
+	for rep := 0; rep < 100; rep++ {
+		var local atomic.Int64
+		g.Run(24, func(task int) {
+			local.Add(int64(task))
+		})
+		sum += local.Load() // safe: Run is a full barrier
+	}
+	const per = 24 * 23 / 2
+	if sum != 100*per {
+		t.Fatalf("sum = %d, want %d", sum, 100*per)
+	}
+}
+
+// TestGangInlineWidthOne verifies a width-1 gang runs tasks inline on
+// the calling goroutine, in order.
+func TestGangInlineWidthOne(t *testing.T) {
+	g := NewGang(1)
+	defer g.Close()
+	var order []int
+	g.Run(5, func(task int) { order = append(order, task) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline order %v, want ascending", order)
+		}
+	}
+}
+
+// TestGangPanicPropagates checks a panicking task surfaces in Run and
+// that the gang survives for further use.
+func TestGangPanicPropagates(t *testing.T) {
+	g := NewGang(3)
+	defer g.Close()
+	func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Fatalf("recovered %v, want boom", r)
+			}
+		}()
+		g.Run(6, func(task int) {
+			if task == 4 {
+				panic("boom")
+			}
+		})
+		t.Fatalf("Run did not panic")
+	}()
+	// Gang must still work after a propagated panic.
+	var n atomic.Int32
+	g.Run(6, func(task int) { n.Add(1) })
+	if n.Load() != 6 {
+		t.Fatalf("post-panic Run executed %d tasks, want 6", n.Load())
+	}
+}
+
+// TestGangCloseIdempotent checks Close can be called twice and that Run
+// after Close panics rather than hanging.
+func TestGangCloseIdempotent(t *testing.T) {
+	g := NewGang(4)
+	g.Run(8, func(int) {})
+	g.Close()
+	g.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Run on closed gang did not panic")
+		}
+	}()
+	g.Run(8, func(int) {})
+}
+
+func BenchmarkGangDispatch(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(benchName(w), func(b *testing.B) {
+			g := NewGang(w)
+			defer g.Close()
+			sink := make([]int64, w*8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Run(w*8, func(task int) { sink[task]++ })
+			}
+		})
+	}
+}
+
+func benchName(w int) string {
+	return "workers" + string(rune('0'+w))
+}

@@ -148,7 +148,7 @@ func (m *Machine) KillTile(c geom.Coord) bool {
 		if core.state != coreHalted && core.state != coreFaulted {
 			core.Err = fmt.Errorf("tile %v killed at cycle %d", c, m.cycle)
 			core.state = coreFaulted
-			m.coreStopped(core)
+			m.coreStopped(core, nil)
 		}
 	}
 	win := int64(m.amap.GlobalWindowBytes())

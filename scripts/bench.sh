@@ -1,29 +1,35 @@
 #!/usr/bin/env bash
 # Runs the cycle-engine benchmarks (NoC packet simulation, throughput
-# sweep, graph workloads, chaos survival) and records the results as
-# JSON in BENCH_noc.json so CI and successive optimization PRs can
-# track ns/op and allocs/op over time.
+# sweep, graph workloads, chaos survival, plus their sharded-engine
+# variants) and records the results as JSON in BENCH_noc.json so CI and
+# successive optimization PRs can track ns/op and allocs/op over time.
+#
+# Recorded numbers are the MINIMUM ns/op (and its B/op, allocs/op, iters)
+# across BENCH_COUNT repetitions of each benchmark — min-of-counts is the
+# standard noise filter for tracking regressions, since scheduling and
+# frequency jitter only ever add time.
 #
 # Environment knobs:
-#   BENCH_PATTERN  benchmark regexp   (default: the four cycle-engine benches)
-#   BENCH_TIME     -benchtime value   (default: 1s; CI uses 1x for a smoke run)
-#   BENCH_COUNT    -count value       (default: 1)
+#   BENCH_PATTERN  benchmark regexp   (default: the cycle-engine benches + sharded variants)
+#   BENCH_TIME     -benchtime value   (default: 3s; CI smoke uses 1x)
+#   BENCH_COUNT    -count value       (default: 3; CI smoke uses 1)
 #   BENCH_OUT      output JSON path   (default: BENCH_noc.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PATTERN="${BENCH_PATTERN:-BenchmarkFig7PacketSim|BenchmarkNoCThroughput|BenchmarkE1GraphWorkloads|BenchmarkChaosBFSSurvival}"
-TIME="${BENCH_TIME:-1s}"
-COUNT="${BENCH_COUNT:-1}"
+TIME="${BENCH_TIME:-3s}"
+COUNT="${BENCH_COUNT:-3}"
 OUT="${BENCH_OUT:-BENCH_noc.json}"
 
 raw=$(go test -run='^$' -bench="$PATTERN" -benchtime="$TIME" -benchmem -count="$COUNT" .)
 echo "$raw"
 
-echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
-BEGIN { printf "{\n  \"date\": \"%s\",\n  \"benchmarks\": [\n", date; n = 0 }
+echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v count="$COUNT" '
 # Benchmarks may emit extra ReportMetric columns between ns/op and
 # B/op, so locate each value by its unit suffix instead of position.
+# With -count > 1 each benchmark repeats; keep the repetition with the
+# lowest ns/op.
 /^Benchmark/ && /ns\/op/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     ns = b = al = "null"
@@ -32,10 +38,19 @@ BEGIN { printf "{\n  \"date\": \"%s\",\n  \"benchmarks\": [\n", date; n = 0 }
         else if ($i == "B/op") b = $(i-1)
         else if ($i == "allocs/op") al = $(i-1)
     }
-    if (n++) printf ",\n"
-    printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-        name, $2, ns, b, al
+    if (!(name in best) || ns + 0 < best[name] + 0) {
+        best[name] = ns; iters[name] = $2; bytes[name] = b; allocs[name] = al
+        if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+    }
 }
-END { print "\n  ]\n}" }
+END {
+    printf "{\n  \"date\": \"%s\",\n  \"count\": %d,\n  \"benchmarks\": [\n", date, count
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n",
+            name, iters[name], best[name], bytes[name], allocs[name], (i < n ? "," : "")
+    }
+    print "  ]\n}"
+}
 ' > "$OUT"
 echo "wrote $OUT"
