@@ -36,6 +36,7 @@ import (
 	"waferscale/internal/noc"
 	"waferscale/internal/pdn"
 	"waferscale/internal/substrate"
+	"waferscale/internal/version"
 )
 
 func main() {
@@ -78,6 +79,8 @@ func main() {
 		err = cmdPareto(args)
 	case "chaos":
 		err = cmdChaos(args)
+	case "version", "-version", "--version":
+		fmt.Println(version.String())
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -111,6 +114,7 @@ commands:
   validate   run BFS on a reduced simulated machine vs a host oracle
   pareto     explore the (throughput, power, yield) design space
   chaos      BFS survival curve under runtime fault injection
+  version    print build information
 
 most commands accept -config <file.json> to evaluate a custom design`)
 }

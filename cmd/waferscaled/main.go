@@ -1,0 +1,123 @@
+// Command waferscaled serves the repository's analyses over HTTP as
+// asynchronous jobs: POST a spec to /v1/jobs, poll or stream its
+// progress, fetch the result. Identical questions are answered from a
+// content-addressed cache, identical in-flight questions share one
+// computation, and a CPU budget partitions the host between
+// co-scheduled jobs. See the README's "Serving" section for the API.
+//
+// Usage:
+//
+//	waferscaled [-addr 127.0.0.1:8432] [-slots N] [-queue N]
+//	            [-cache-entries N] [-cache-mb N] [-drain-timeout 30s]
+//
+// On SIGTERM/SIGINT the daemon stops accepting work, finishes running
+// jobs within -drain-timeout (then force-cancels them), verifies that
+// no goroutines leaked, and exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"waferscale/internal/serve"
+	"waferscale/internal/version"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8432", "listen address (port 0 picks a free port)")
+	slots := flag.Int("slots", 0, "concurrent jobs (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "queued-job bound across priority lanes (0 = 64)")
+	cacheEntries := flag.Int("cache-entries", 0, "result-cache entry bound (0 = 256)")
+	cacheMB := flag.Int("cache-mb", 0, "result-cache byte bound in MiB (0 = 64)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for running jobs at shutdown")
+	showVersion := flag.Bool("version", false, "print build information and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
+	if err := run(*addr, *slots, *queue, *cacheEntries, *cacheMB, *drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "waferscaled: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, slots, queue, cacheEntries, cacheMB int, drainTimeout time.Duration) error {
+	// Baseline for the shutdown leak check, taken before any server
+	// machinery spins up.
+	baseGoroutines := runtime.NumGoroutine()
+
+	srv := serve.New(serve.Config{
+		Slots:        slots,
+		QueueDepth:   queue,
+		CacheEntries: cacheEntries,
+		CacheBytes:   int64(cacheMB) << 20,
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	// The parseable line the e2e harness (and humans) wait for.
+	fmt.Printf("waferscaled listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Printf("waferscaled: draining (grace %s)\n", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	forced := srv.Drain(drainCtx)
+	cancel()
+	if forced > 0 {
+		fmt.Printf("waferscaled: force-canceled %d running job(s)\n", forced)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	err = httpSrv.Shutdown(shutCtx)
+	cancel()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	// Self-check: after drain + shutdown every worker, job and handler
+	// goroutine must be gone. A leak is a bug worth a nonzero exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseGoroutines+1 { // +1: signal.NotifyContext's watcher may linger briefly
+			st := srv.Snapshot()
+			fmt.Printf("waferscaled: drained clean (executed %d, cache hits %d, joins %d)\n",
+				st.Executed, st.Cache.Hits, st.InflightJoins)
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("goroutine leak after drain: %d running, baseline %d", n, baseGoroutines)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

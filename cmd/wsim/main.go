@@ -24,6 +24,7 @@ import (
 	"waferscale/internal/inject"
 	"waferscale/internal/parallel"
 	"waferscale/internal/sim"
+	"waferscale/internal/version"
 )
 
 func main() {
@@ -45,7 +46,13 @@ func main() {
 	hostWorkers := flag.Int("host-workers", 0, "host goroutines running trials (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 1, "spatial shards stepping the wafer per cycle (1 = serial engine)")
 	shardWorkers := flag.Int("shard-workers", 0, "host goroutines per sharded machine (0 = min(shards, GOMAXPROCS))")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 
 	var err error
 	if *trials > 1 {

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"waferscale/internal/fault"
 	"waferscale/internal/inject"
@@ -40,6 +42,14 @@ type ChaosConfig struct {
 	// the host. Results are bit-identical at any setting.
 	Shards       int
 	ShardWorkers int
+
+	// Progress, when non-nil, is invoked after every completed trial
+	// with the cumulative trials finished across the whole sweep, the
+	// total (Trials * len(Kills)), and the cumulative machine cycles
+	// stepped by completed trials. It runs on the trial worker
+	// goroutines and must be safe for concurrent use. It does not
+	// affect the results.
+	Progress func(trialsDone, trialsTotal int, cyclesStepped int64)
 }
 
 // DefaultChaosConfig returns the standard sweep: an 8x8 machine running
@@ -122,6 +132,16 @@ type chaosTrial struct {
 // (per-trial seeds are derived via fault.TrialSeed, not drawn from
 // shared state).
 func (d *Design) RunChaos(cfg ChaosConfig) ([]ChaosPoint, error) {
+	return d.RunChaosCtx(context.Background(), cfg)
+}
+
+// RunChaosCtx is RunChaos with cancellation: ctx is threaded through
+// the trial pool and into every trial machine's cycle loop, so a
+// cancel stops work promptly even mid-trial (within a few thousand
+// simulated cycles). On cancellation it returns the points for kill
+// counts fully completed before the cancel (a prefix of cfg.Kills,
+// possibly empty) together with ctx.Err().
+func (d *Design) RunChaosCtx(ctx context.Context, cfg ChaosConfig) ([]ChaosPoint, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -140,19 +160,28 @@ func (d *Design) RunChaos(cfg ChaosConfig) ([]ChaosPoint, error) {
 		}
 	}
 
+	var (
+		trialsDone    atomic.Int64
+		cyclesStepped atomic.Int64
+	)
+	trialsTotal := cfg.Trials * len(cfg.Kills)
+
 	points := make([]ChaosPoint, 0, len(cfg.Kills))
 	for _, kills := range cfg.Kills {
 		trials := make([]chaosTrial, cfg.Trials)
-		err := parallel.ForEach(nil, cfg.Trials, trialWorkers, func(i int) error {
-			t, err := d.runChaosTrial(cfg, g, want, kills, i)
+		err := parallel.ForEach(ctx, cfg.Trials, trialWorkers, func(i int) error {
+			t, err := d.runChaosTrial(ctx, cfg, g, want, kills, i)
 			if err != nil {
 				return err
 			}
 			trials[i] = t
+			if cfg.Progress != nil {
+				cfg.Progress(int(trialsDone.Add(1)), trialsTotal, cyclesStepped.Add(t.cycles))
+			}
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return points, err
 		}
 
 		p := ChaosPoint{Kills: kills, Trials: cfg.Trials}
@@ -178,7 +207,7 @@ func (d *Design) RunChaos(cfg ChaosConfig) ([]ChaosPoint, error) {
 	return points, nil
 }
 
-func (d *Design) runChaosTrial(cfg ChaosConfig, g *sim.Graph, want []int32, kills, trial int) (chaosTrial, error) {
+func (d *Design) runChaosTrial(ctx context.Context, cfg ChaosConfig, g *sim.Graph, want []int32, kills, trial int) (chaosTrial, error) {
 	m, err := d.BuildMachine(cfg.Side, nil)
 	if err != nil {
 		return chaosTrial{}, err
@@ -191,7 +220,7 @@ func (d *Design) runChaosTrial(cfg ChaosConfig, g *sim.Graph, want []int32, kill
 		return chaosTrial{}, err
 	}
 	ws := sim.SpreadWorkers(m, cfg.Workers)
-	res, err := sim.RunSSSPUnderFaults(m, g, 0, ws, cfg.MaxCycles)
+	res, err := sim.RunSSSPUnderFaultsCtx(ctx, m, g, 0, ws, cfg.MaxCycles)
 	if err != nil {
 		return chaosTrial{}, err
 	}

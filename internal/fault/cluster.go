@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"math/rand"
 
 	"waferscale/internal/geom"
@@ -91,14 +92,26 @@ type ClusteredMonteCarlo struct {
 // out on the shared pool with per-trial derived seeds (bit-identical at
 // any worker count).
 func (mc ClusteredMonteCarlo) Samples(faults int, metric Metric) []float64 {
+	out, _ := mc.SamplesCtx(context.Background(), faults, metric)
+	return out
+}
+
+// SamplesCtx is Samples with cancellation: trials not yet dispatched
+// when ctx is cancelled are skipped and (nil, ctx.Err()) is returned —
+// the sample slice would have undefined holes, so no partial result is
+// exposed. In-flight trials finish normally.
+func (mc ClusteredMonteCarlo) SamplesCtx(ctx context.Context, faults int, metric Metric) ([]float64, error) {
 	if mc.Trials <= 0 {
-		return nil
+		return nil, nil
 	}
 	out := make([]float64, mc.Trials)
-	parallel.ForEach(nil, mc.Trials, mc.Workers, func(i int) error {
+	err := parallel.ForEach(ctx, mc.Trials, mc.Workers, func(i int) error {
 		rng := rand.New(rand.NewSource(TrialSeed(mc.Seed, faults, i)))
 		out[i] = metric(Clustered(mc.Grid, faults, mc.Cluster, rng))
 		return nil
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -1,8 +1,10 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"waferscale/internal/geom"
 	"waferscale/internal/parallel"
@@ -23,6 +25,11 @@ type MonteCarlo struct {
 	Seed   int64
 	// Workers caps parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Progress, when non-nil, is invoked after every completed trial
+	// with the number of trials finished so far and the total. It is
+	// called concurrently from the worker goroutines and must be safe
+	// for concurrent use (the serve layer feeds an atomic counter).
+	Progress func(done, total int)
 }
 
 // Run evaluates the metric over Trials random maps with exactly faults
@@ -32,14 +39,34 @@ func (mc MonteCarlo) Run(faults int, metric Metric) Stats {
 	return Collect(samples)
 }
 
+// RunCtx is Run with cancellation: on ctx cancellation it returns the
+// zero Stats and ctx.Err() — partial samples are never summarized.
+func (mc MonteCarlo) RunCtx(ctx context.Context, faults int, metric Metric) (Stats, error) {
+	samples, err := mc.SamplesCtx(ctx, faults, metric)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Collect(samples), nil
+}
+
 // Samples returns the raw per-trial metric values, in trial order.
 func (mc MonteCarlo) Samples(faults int, metric Metric) []float64 {
+	samples, _ := mc.SamplesCtx(context.Background(), faults, metric)
+	return samples
+}
+
+// SamplesCtx is Samples with cancellation. On ctx cancellation it
+// returns (nil, ctx.Err()): the sample slice would have undefined holes
+// at the undispatched trial indices, so no partial result is exposed.
+func (mc MonteCarlo) SamplesCtx(ctx context.Context, faults int, metric Metric) ([]float64, error) {
 	if mc.Trials <= 0 {
-		return nil
+		return nil, nil
 	}
 	samples := make([]float64, mc.Trials)
-	mc.ForEachMap(faults, func(i int, m *Map) { samples[i] = metric(m) })
-	return samples
+	if err := mc.ForEachMapCtx(ctx, faults, func(i int, m *Map) { samples[i] = metric(m) }); err != nil {
+		return nil, err
+	}
+	return samples, nil
 }
 
 // ForEachMap invokes fn for every trial's fault map on the shared
@@ -50,9 +77,21 @@ func (mc MonteCarlo) Samples(faults int, metric Metric) []float64 {
 // each trial draws from its own derived-seed rand.Rand and writes only
 // its own slot.
 func (mc MonteCarlo) ForEachMap(faults int, fn func(trial int, m *Map)) {
-	parallel.ForEach(nil, mc.Trials, mc.Workers, func(i int) error {
+	mc.ForEachMapCtx(context.Background(), faults, fn)
+}
+
+// ForEachMapCtx is ForEachMap with cancellation: trials not yet
+// dispatched when ctx is cancelled are skipped and ctx.Err() is
+// returned; trials already running finish normally (fn is never
+// interrupted mid-map). A nil error means every trial ran.
+func (mc MonteCarlo) ForEachMapCtx(ctx context.Context, faults int, fn func(trial int, m *Map)) error {
+	var done atomic.Int64
+	return parallel.ForEach(ctx, mc.Trials, mc.Workers, func(i int) error {
 		rng := rand.New(rand.NewSource(TrialSeed(mc.Seed, faults, i)))
 		fn(i, Random(mc.Grid, faults, rng))
+		if mc.Progress != nil {
+			mc.Progress(int(done.Add(1)), mc.Trials)
+		}
 		return nil
 	})
 }
@@ -60,11 +99,23 @@ func (mc MonteCarlo) ForEachMap(faults int, fn func(trial int, m *Map)) {
 // Sweep evaluates the metric at each fault count and returns one Stats
 // per count, in order.
 func (mc MonteCarlo) Sweep(faultCounts []int, metric Metric) []Stats {
-	out := make([]Stats, len(faultCounts))
-	for i, n := range faultCounts {
-		out[i] = mc.Run(n, metric)
-	}
+	out, _ := mc.SweepCtx(context.Background(), faultCounts, metric)
 	return out
+}
+
+// SweepCtx is Sweep with cancellation. On ctx cancellation it returns
+// the stats for the fault counts fully completed before the cancel
+// (a prefix of faultCounts, possibly empty) together with ctx.Err().
+func (mc MonteCarlo) SweepCtx(ctx context.Context, faultCounts []int, metric Metric) ([]Stats, error) {
+	out := make([]Stats, 0, len(faultCounts))
+	for _, n := range faultCounts {
+		st, err := mc.RunCtx(ctx, n, metric)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
 }
 
 // TrialSeed derives a per-trial seed from a base seed and a stratum

@@ -1,7 +1,9 @@
 package noc
 
 import (
+	"context"
 	"math/rand"
+	"sync/atomic"
 
 	"waferscale/internal/fault"
 	"waferscale/internal/geom"
@@ -271,24 +273,41 @@ type ChipletFig6Point struct {
 // (workers 0 means GOMAXPROCS) with per-trial seeds derived through
 // fault.TrialSeed, so the curves are bit-identical at any worker count.
 func ChipletFig6Sweep(grid geom.Grid, chipletCounts []int, trials int, seed int64, workers int) []ChipletFig6Point {
-	out := make([]ChipletFig6Point, len(chipletCounts))
-	for ci, n := range chipletCounts {
+	out, _ := ChipletFig6SweepCtx(context.Background(), grid, chipletCounts, trials, seed, Fig6Opts{Workers: workers})
+	return out
+}
+
+// ChipletFig6SweepCtx is ChipletFig6Sweep with cancellation and
+// optional progress, mirroring Fig6SweepCtx: on ctx cancellation the
+// points for fully-completed chiplet counts (a prefix, possibly empty)
+// are returned with ctx.Err().
+func ChipletFig6SweepCtx(ctx context.Context, grid geom.Grid, chipletCounts []int, trials int, seed int64, opts Fig6Opts) ([]ChipletFig6Point, error) {
+	total := len(chipletCounts) * trials
+	var cum atomic.Int64
+	out := make([]ChipletFig6Point, 0, len(chipletCounts))
+	for _, n := range chipletCounts {
 		single := make([]float64, trials)
 		dual := make([]float64, trials)
-		parallel.ForEach(nil, trials, workers, func(i int) error {
+		err := parallel.ForEach(ctx, trials, opts.Workers, func(i int) error {
 			rng := rand.New(rand.NewSource(fault.TrialSeed(seed, n, i)))
 			st := NewChipletAnalyzer(RandomChiplets(grid, n, rng)).AllPairs()
 			single[i] = st.PctSingle()
 			dual[i] = st.PctDual()
+			if opts.Progress != nil {
+				opts.Progress(int(cum.Add(1)), total)
+			}
 			return nil
 		})
-		out[ci] = ChipletFig6Point{
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ChipletFig6Point{
 			Chiplets:  n,
 			PctSingle: fault.Collect(single),
 			PctDual:   fault.Collect(dual),
-		}
+		})
 	}
-	return out
+	return out, nil
 }
 
 func minInt(a, b int) int {

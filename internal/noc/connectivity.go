@@ -1,7 +1,9 @@
 package noc
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 
 	"waferscale/internal/fault"
 	"waferscale/internal/geom"
@@ -217,18 +219,45 @@ func Fig6Sweep(grid geom.Grid, faultCounts []int, trials int, seed int64) []Fig6
 // Fig6SweepWorkers is Fig6Sweep with an explicit trial-pool bound
 // (0 means GOMAXPROCS). Results are bit-identical at any worker count.
 func Fig6SweepWorkers(grid geom.Grid, faultCounts []int, trials int, seed int64, workers int) []Fig6Point {
-	mc := fault.MonteCarlo{Grid: grid, Trials: trials, Seed: seed, Workers: workers}
+	out, _ := Fig6SweepCtx(context.Background(), grid, faultCounts, trials, seed, Fig6Opts{Workers: workers})
+	return out
+}
+
+// Fig6Opts carries the host-side knobs of a Fig. 6 sweep — none of
+// them affect the computed curves.
+type Fig6Opts struct {
+	// Workers bounds the trial pool; 0 means GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, is called after each completed trial with
+	// the cumulative trials finished across the whole sweep and the
+	// total (len(faultCounts) * trials). It runs on the trial worker
+	// goroutines and must be safe for concurrent use.
+	Progress func(done, total int)
+}
+
+// Fig6SweepCtx is the cancellable Fig. 6 Monte Carlo. On ctx
+// cancellation it returns the points for the fault counts fully
+// completed before the cancel (a prefix of faultCounts, possibly
+// empty) together with ctx.Err(); trials already in flight finish but
+// their half-swept count is discarded.
+func Fig6SweepCtx(ctx context.Context, grid geom.Grid, faultCounts []int, trials int, seed int64, opts Fig6Opts) ([]Fig6Point, error) {
+	mc := fault.MonteCarlo{Grid: grid, Trials: trials, Seed: seed, Workers: opts.Workers}
+	total := len(faultCounts) * trials
+	var cum atomic.Int64
+	if opts.Progress != nil {
+		mc.Progress = func(int, int) { opts.Progress(int(cum.Add(1)), total) }
+	}
 	// Each worker recycles an Analyzer via Reset instead of allocating
 	// fresh prefix-sum slabs per trial map (the analyzer is pure scratch;
 	// pooling cannot affect the per-trial results).
 	pool := sync.Pool{New: func() any { return &Analyzer{} }}
-	out := make([]Fig6Point, len(faultCounts))
-	for i, n := range faultCounts {
+	out := make([]Fig6Point, 0, len(faultCounts))
+	for _, n := range faultCounts {
 		// One pass over each map computes both curves, so the single-
 		// and dual-network samples are paired per fault map.
 		single := make([]float64, trials)
 		dual := make([]float64, trials)
-		mc.ForEachMap(n, func(trial int, m *fault.Map) {
+		err := mc.ForEachMapCtx(ctx, n, func(trial int, m *fault.Map) {
 			a := pool.Get().(*Analyzer)
 			a.Reset(m)
 			st := a.AllPairs()
@@ -236,11 +265,14 @@ func Fig6SweepWorkers(grid geom.Grid, faultCounts []int, trials int, seed int64,
 			single[trial] = st.PctSingle()
 			dual[trial] = st.PctDual()
 		})
-		out[i] = Fig6Point{
+		if err != nil {
+			return out, err
+		}
+		out = append(out, Fig6Point{
 			Faults:    n,
 			PctSingle: fault.Collect(single),
 			PctDual:   fault.Collect(dual),
-		}
+		})
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Budget partitions a fixed pool of host-CPU tokens among concurrent
+// consumers, so independently-parallel jobs that are co-scheduled on
+// one machine never oversubscribe it. Each consumer Acquires a worker
+// count before fanning out (the grant is what it passes as the Workers
+// knob of the analyses it runs) and Releases the same count when done.
+//
+// Acquire never blocks and always grants at least one token — forward
+// progress is guaranteed even when the pool is exhausted — so the
+// no-oversubscription property holds exactly when consumers ask for
+// their fair share (Total/consumers) rather than the whole pool. The
+// serve scheduler does exactly that: with S job slots it asks for
+// Total/S per job, so S co-scheduled jobs sum to at most Total.
+type Budget struct {
+	mu    sync.Mutex
+	total int
+	free  int
+}
+
+// NewBudget returns a budget of total tokens; total <= 0 means
+// GOMAXPROCS.
+func NewBudget(total int) *Budget {
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	return &Budget{total: total, free: total}
+}
+
+// Total returns the pool size.
+func (b *Budget) Total() int { return b.total }
+
+// Free returns the currently unallocated token count. It can be
+// negative transiently: Acquire's at-least-one floor lends a token the
+// pool does not have rather than stalling the caller.
+func (b *Budget) Free() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.free
+}
+
+// Acquire grants min(want, free) tokens but never fewer than one, and
+// never blocks. want <= 0 asks for the fair share of an uncontended
+// pool, i.e. everything currently free (at least one). The caller must
+// Release exactly the granted count.
+func (b *Budget) Acquire(want int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if want <= 0 || want > b.free {
+		want = b.free
+	}
+	if want < 1 {
+		want = 1 // progress floor: may transiently oversubscribe by one
+	}
+	b.free -= want
+	return want
+}
+
+// Release returns n previously granted tokens to the pool. Releasing
+// more than was acquired is a bug; Release panics if the pool would
+// exceed its total.
+func (b *Budget) Release(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("parallel: Release(%d) negative", n))
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.free += n
+	if b.free > b.total {
+		panic(fmt.Sprintf("parallel: Release overflow: free %d > total %d", b.free, b.total))
+	}
+}
+
+// FairShare returns the per-consumer grant that keeps parts consumers
+// within a pool of total tokens: max(1, total/parts).
+func FairShare(total, parts int) int {
+	if parts < 1 {
+		parts = 1
+	}
+	share := total / parts
+	if share < 1 {
+		share = 1
+	}
+	return share
+}

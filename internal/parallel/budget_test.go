@@ -1,0 +1,105 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBudgetAcquireRelease(t *testing.T) {
+	b := NewBudget(8)
+	if b.Total() != 8 || b.Free() != 8 {
+		t.Fatalf("fresh budget: total %d free %d", b.Total(), b.Free())
+	}
+	g1 := b.Acquire(4)
+	if g1 != 4 || b.Free() != 4 {
+		t.Fatalf("Acquire(4) granted %d, free %d", g1, b.Free())
+	}
+	// Asking for more than free grants what's left.
+	g2 := b.Acquire(6)
+	if g2 != 4 || b.Free() != 0 {
+		t.Fatalf("Acquire(6) on 4 free granted %d, free %d", g2, b.Free())
+	}
+	// Exhausted pool still grants the progress floor of one.
+	g3 := b.Acquire(2)
+	if g3 != 1 || b.Free() != -1 {
+		t.Fatalf("Acquire on empty granted %d, free %d", g3, b.Free())
+	}
+	b.Release(g1)
+	b.Release(g2)
+	b.Release(g3)
+	if b.Free() != 8 {
+		t.Fatalf("after releases free %d, want 8", b.Free())
+	}
+}
+
+func TestBudgetAcquireZeroTakesFree(t *testing.T) {
+	b := NewBudget(6)
+	if g := b.Acquire(0); g != 6 {
+		t.Fatalf("Acquire(0) granted %d, want all 6", g)
+	}
+	if g := b.Acquire(0); g != 1 {
+		t.Fatalf("Acquire(0) on empty granted %d, want floor 1", g)
+	}
+}
+
+func TestBudgetReleaseOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release past total did not panic")
+		}
+	}()
+	NewBudget(2).Release(1)
+}
+
+// Fair-share consumers never push concurrent grants past the pool.
+func TestBudgetFairShareNeverOversubscribes(t *testing.T) {
+	const total, slots, rounds = 8, 4, 200
+	b := NewBudget(total)
+	share := FairShare(total, slots)
+	var (
+		mu      sync.Mutex
+		out     int
+		worst   int
+		wg      sync.WaitGroup
+		startCh = make(chan struct{})
+	)
+	for s := 0; s < slots; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-startCh
+			for r := 0; r < rounds; r++ {
+				g := b.Acquire(share)
+				mu.Lock()
+				out += g
+				if out > worst {
+					worst = out
+				}
+				mu.Unlock()
+				mu.Lock()
+				out -= g
+				mu.Unlock()
+				b.Release(g)
+			}
+		}()
+	}
+	close(startCh)
+	wg.Wait()
+	if worst > total {
+		t.Fatalf("concurrent fair-share grants peaked at %d > total %d", worst, total)
+	}
+	if b.Free() != total {
+		t.Fatalf("pool did not drain back: free %d", b.Free())
+	}
+}
+
+func TestFairShare(t *testing.T) {
+	cases := []struct{ total, parts, want int }{
+		{8, 4, 2}, {8, 3, 2}, {8, 16, 1}, {1, 4, 1}, {8, 0, 8},
+	}
+	for _, c := range cases {
+		if got := FairShare(c.total, c.parts); got != c.want {
+			t.Errorf("FairShare(%d,%d) = %d, want %d", c.total, c.parts, got, c.want)
+		}
+	}
+}

@@ -24,6 +24,7 @@
 package pdn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -72,6 +73,16 @@ type Config struct {
 	// the escape hatch the differential tests use to prove the parallel
 	// schedule changes nothing.
 	Serial bool
+
+	// Progress, when non-nil, is invoked every ProgressEvery sweeps
+	// with the sweep count so far and the scaled residual of the last
+	// sweep (in volts) — the convergence signal the serve layer streams
+	// to clients. It is called from the goroutine driving the solve,
+	// never concurrently. It does not affect the solution.
+	Progress func(sweeps int, residualV float64)
+	// ProgressEvery is the sweep interval between Progress calls (and
+	// between cancellation checks in SolveCtx); 0 means 200.
+	ProgressEvery int
 }
 
 // DefaultConfig returns the prototype PDN operating point for the grid.
@@ -99,6 +110,15 @@ var ErrNoConvergence = errors.New("pdn: SOR did not converge")
 
 // Solve runs the nodal analysis and returns the voltage map.
 func Solve(cfg Config) (*Solution, error) {
+	return SolveCtx(context.Background(), cfg)
+}
+
+// SolveCtx is Solve with cancellation: ctx is checked every
+// cfg.ProgressEvery sweeps (so cancellation lands within a bounded
+// amount of work) and on cancellation (nil, ctx.Err()) is returned —
+// a half-converged voltage map is never exposed. The solution is
+// bit-identical to Solve's for any ctx that is not cancelled.
+func SolveCtx(ctx context.Context, cfg Config) (*Solution, error) {
 	g := cfg.Grid
 	if g.W < 3 || g.H < 3 {
 		return nil, fmt.Errorf("pdn: grid %v too small (need interior nodes)", g)
@@ -247,9 +267,22 @@ func Solve(cfg Config) (*Solution, error) {
 		}
 	}
 
+	every := cfg.ProgressEvery
+	if every <= 0 {
+		every = 200
+	}
 	for sweeps := 0; sweeps < maxSweeps; sweeps++ {
-		if r := sweep(); r < tol {
+		r := sweep()
+		if r < tol {
 			return &Solution{Grid: g, Volts: v, Sweeps: sweeps + 1, Residual: r, cfg: cfg}, nil
+		}
+		if (sweeps+1)%every == 0 {
+			if cfg.Progress != nil {
+				cfg.Progress(sweeps+1, r)
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return nil, fmt.Errorf("%w after %d sweeps", ErrNoConvergence, maxSweeps)

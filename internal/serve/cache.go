@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the content-addressed result cache: canonical-spec hash ->
+// marshaled result. It is bounded both by entry count and by total
+// stored bytes, evicting least-recently-used entries when either bound
+// is exceeded, and keeps hit/miss/eviction counters for the stats
+// endpoint. Safe for concurrent use.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	ll         *list.List // front = most recently used
+	items      map[string]*list.Element
+	bytes      int64
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache returns a cache bounded to maxEntries entries and maxBytes
+// total value bytes; non-positive bounds take defaults (256 entries,
+// 64 MiB).
+func NewCache(maxEntries int, maxBytes int64) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = 256
+	}
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value for key and records a hit or miss. The
+// returned slice is shared — callers must not mutate it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores the value under key (replacing any previous value) and
+// evicts LRU entries until both bounds hold again. A value larger than
+// the byte bound is not cached at all.
+func (c *Cache) Put(key string, val []byte) {
+	if int64(len(val)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+		c.bytes += int64(len(val))
+	}
+	for (c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes) && c.ll.Len() > 1 {
+		c.evictOldest()
+	}
+}
+
+func (c *Cache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= int64(len(e.val))
+	c.evictions++
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Entries    int   `json:"entries"`
+	Bytes      int64 `json:"bytes"`
+	MaxEntries int   `json:"maxEntries"`
+	MaxBytes   int64 `json:"maxBytes"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Evictions  int64 `json:"evictions"`
+}
+
+// Stats returns a snapshot of the counters and occupancy.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:    c.ll.Len(),
+		Bytes:      c.bytes,
+		MaxEntries: c.maxEntries,
+		MaxBytes:   c.maxBytes,
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+	}
+}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// specKeyFromJSON decodes a wire body, normalizes it and returns its
+// cache key — the exact path a submission takes.
+func specKeyFromJSON(t *testing.T, body string) string {
+	t.Helper()
+	var sp Spec
+	if err := json.Unmarshal([]byte(body), &sp); err != nil {
+		t.Fatalf("unmarshal %q: %v", body, err)
+	}
+	if err := sp.Normalize(); err != nil {
+		t.Fatalf("normalize %q: %v", body, err)
+	}
+	return sp.CacheKey()
+}
+
+func TestCacheKeyStableAcrossFieldOrder(t *testing.T) {
+	a := specKeyFromJSON(t, `{"kind":"chaos","chaos":{"side":8,"trials":4,"seed":7,"kills":[0,2]}}`)
+	b := specKeyFromJSON(t, `{"chaos":{"kills":[0,2],"seed":7,"trials":4,"side":8},"kind":"chaos"}`)
+	if a != b {
+		t.Fatalf("field order changed the key: %s vs %s", a, b)
+	}
+}
+
+func TestCacheKeyStableAcrossDefaultFilling(t *testing.T) {
+	// Omitting a field and spelling out its default must hash the same.
+	implicit := specKeyFromJSON(t, `{"kind":"droop"}`)
+	explicit := specKeyFromJSON(t, `{"kind":"droop","droop":{"side":32,"edgeVolts":2.5}}`)
+	if implicit != explicit {
+		t.Fatalf("default filling changed the key: %s vs %s", implicit, explicit)
+	}
+	// Same for a deeper spec.
+	imp2 := specKeyFromJSON(t, `{"kind":"chaos","chaos":{"trials":4}}`)
+	exp2 := specKeyFromJSON(t, `{"kind":"chaos","chaos":{"side":8,"workers":16,"trials":4,"seed":2021,"kills":[0,1,2,4,8],"killFrom":500,"killTo":5000,"maxCycles":400000,"graphSide":8}}`)
+	if imp2 != exp2 {
+		t.Fatalf("chaos default filling changed the key: %s vs %s", imp2, exp2)
+	}
+}
+
+func TestCacheKeyIgnoresIrrelevantSections(t *testing.T) {
+	clean := specKeyFromJSON(t, `{"kind":"nocmc","nocmc":{"trials":8}}`)
+	stray := specKeyFromJSON(t, `{"kind":"nocmc","nocmc":{"trials":8},"droop":{"side":48},"dse":{"sides":[8]}}`)
+	if clean != stray {
+		t.Fatalf("stray sections changed the key: %s vs %s", clean, stray)
+	}
+}
+
+func TestCacheKeyDistinguishesParameters(t *testing.T) {
+	keys := map[string]string{}
+	for _, body := range []string{
+		`{"kind":"droop"}`,
+		`{"kind":"droop","droop":{"side":16}}`,
+		`{"kind":"droop","droop":{"edgeVolts":3.0}}`,
+		`{"kind":"nocmc"}`,
+		`{"kind":"nocmc","nocmc":{"chiplet":true}}`,
+		`{"kind":"chaos"}`,
+		`{"kind":"chaos","chaos":{"seed":99}}`,
+	} {
+		k := specKeyFromJSON(t, body)
+		if prev, dup := keys[k]; dup {
+			t.Fatalf("distinct specs collided: %s and %s", prev, body)
+		}
+		keys[k] = body
+	}
+}
+
+func TestCacheLRUEntryBound(t *testing.T) {
+	c := NewCache(3, 1<<20)
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if c.Len() != 3 {
+		t.Fatalf("entry bound not enforced: len=%d want 3", c.Len())
+	}
+	// k0, k1 evicted; k2..k4 retained.
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if _, ok := c.Get("k4"); !ok {
+		t.Fatal("newest entry was evicted")
+	}
+	// Touching k2 then inserting must evict k3, not k2.
+	if _, ok := c.Get("k2"); !ok {
+		t.Fatal("k2 missing before recency test")
+	}
+	c.Put("k5", []byte("v"))
+	if _, ok := c.Get("k2"); !ok {
+		t.Fatal("recently-used entry was evicted")
+	}
+	if _, ok := c.Get("k3"); ok {
+		t.Fatal("least-recently-used entry survived")
+	}
+	st := c.Stats()
+	if st.Evictions != 3 {
+		t.Fatalf("evictions=%d want 3", st.Evictions)
+	}
+}
+
+func TestCacheLRUByteBound(t *testing.T) {
+	c := NewCache(100, 100)
+	c.Put("a", make([]byte, 60))
+	c.Put("b", make([]byte, 60)) // 120 > 100: "a" must go
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("byte bound not enforced")
+	}
+	if st := c.Stats(); st.Bytes != 60 {
+		t.Fatalf("bytes=%d want 60", st.Bytes)
+	}
+	// An oversize value is refused outright, leaving the cache intact.
+	c.Put("huge", make([]byte, 200))
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversize value was cached")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("refusing an oversize value disturbed existing entries")
+	}
+}
+
+func TestCacheReplaceAndCounters(t *testing.T) {
+	c := NewCache(10, 1<<20)
+	c.Put("k", []byte("one"))
+	c.Put("k", []byte("four"))
+	if v, ok := c.Get("k"); !ok || string(v) != "four" {
+		t.Fatalf("replace failed: %q %v", v, ok)
+	}
+	c.Get("absent")
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 4 {
+		t.Fatalf("stats %+v want hits=1 misses=1 entries=1 bytes=4", st)
+	}
+}

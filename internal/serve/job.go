@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+)
+
+// State is a job's lifecycle position. Transitions: queued -> running
+// -> (done | failed | canceled); queued -> canceled. A job born from a
+// cache hit starts at done.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether no further transition can happen.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Event is one progress or lifecycle record on a job's stream. Stage
+// identifies the feed ("trials" for Monte Carlo sweeps, "sor" for PDN
+// relaxation with the residual in volts, "rates"/"points" for sweep
+// positions); State is set on lifecycle transitions.
+type Event struct {
+	Seq      int64   `json:"seq"`
+	UnixMS   int64   `json:"unixMs"`
+	State    string  `json:"state,omitempty"`
+	Stage    string  `json:"stage,omitempty"`
+	Done     int64   `json:"done,omitempty"`
+	Total    int64   `json:"total,omitempty"`
+	Residual float64 `json:"residualV,omitempty"`
+	Cycles   int64   `json:"cycles,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// eventRing bounds the per-job replay buffer: a late subscriber gets
+// at most this many historical events before the live feed.
+const eventRing = 128
+
+// subChanCap bounds a subscriber's buffer; progress events beyond it
+// are dropped for that subscriber (progress is lossy by design — the
+// terminal state is delivered via channel close plus a final status
+// read, never via a droppable send).
+const subChanCap = 64
+
+// Job is one submitted analysis. The immutable identity fields are set
+// at creation; everything else is guarded by the Server's mutex via
+// the methods below (the Job embeds no lock of its own so that queue
+// membership, dedup-index membership and state always change under one
+// lock).
+type Job struct {
+	ID       string
+	Key      string // canonical-spec cache key
+	Spec     *Spec
+	Priority Priority
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	state    State
+	err      string
+	result   json.RawMessage
+	cached   bool // born done from a cache hit
+	joins    int64
+	workers  int // budget tokens granted while running
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	seq    int64
+	events []Event
+	subs   map[chan Event]struct{}
+}
+
+// JobStatus is the wire view of a job.
+type JobStatus struct {
+	ID       string          `json:"id"`
+	State    State           `json:"state"`
+	Kind     string          `json:"kind"`
+	Priority string          `json:"priority"`
+	Key      string          `json:"key"`
+	Cached   bool            `json:"cached,omitempty"`
+	Joins    int64           `json:"joins,omitempty"`
+	Workers  int             `json:"workers,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Created  time.Time       `json:"created"`
+	Started  *time.Time      `json:"started,omitempty"`
+	Finished *time.Time      `json:"finished,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
+// status renders the wire view; withResult embeds the result payload.
+// Caller holds the server mutex.
+func (j *Job) status(withResult bool) JobStatus {
+	st := JobStatus{
+		ID:       j.ID,
+		State:    j.state,
+		Kind:     j.Spec.Kind,
+		Priority: j.Priority.String(),
+		Key:      j.Key,
+		Cached:   j.cached,
+		Joins:    j.joins,
+		Workers:  j.workers,
+		Error:    j.err,
+		Created:  j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if withResult && j.state == StateDone {
+		st.Result = j.result
+	}
+	return st
+}
+
+// publish appends an event to the ring and fans it out to subscribers
+// (non-blocking: a slow subscriber loses progress events, never the
+// terminal notification). Caller holds the server mutex.
+func (j *Job) publish(ev Event) {
+	j.seq++
+	ev.Seq = j.seq
+	ev.UnixMS = time.Now().UnixMilli()
+	j.events = append(j.events, ev)
+	if len(j.events) > eventRing {
+		j.events = append(j.events[:0:0], j.events[len(j.events)-eventRing:]...)
+	}
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default: // lossy progress; terminal state arrives via close
+		}
+	}
+}
+
+// closeSubs closes every subscriber channel — called on the terminal
+// transition, after the final state event was published. Caller holds
+// the server mutex.
+func (j *Job) closeSubs() {
+	for ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+}
+
+// subscribe registers a live-event channel and returns it along with a
+// replay of the ring. If the job is already terminal the channel comes
+// back closed — the replay then ends with the terminal event. Caller
+// holds the server mutex.
+func (j *Job) subscribe() (chan Event, []Event) {
+	replay := append([]Event(nil), j.events...)
+	ch := make(chan Event, subChanCap)
+	if j.state.terminal() {
+		close(ch)
+		return ch, replay
+	}
+	if j.subs == nil {
+		j.subs = make(map[chan Event]struct{})
+	}
+	j.subs[ch] = struct{}{}
+	return ch, replay
+}
+
+// unsubscribe removes a live-event channel (client went away). Caller
+// holds the server mutex.
+func (j *Job) unsubscribe(ch chan Event) {
+	if j.subs != nil {
+		delete(j.subs, ch)
+	}
+}

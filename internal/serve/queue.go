@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Priority orders queued jobs into lanes; within a lane jobs run in
+// submission order. Priority is a scheduling hint only — it is not
+// part of the cache key, because it does not change the computation.
+type Priority int
+
+const (
+	PriorityHigh Priority = iota
+	PriorityNormal
+	PriorityLow
+	numLanes
+)
+
+// ParsePriority maps the wire spelling to a lane; "" means normal.
+func ParsePriority(s string) (Priority, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "high":
+		return PriorityHigh, nil
+	case "", "normal":
+		return PriorityNormal, nil
+	case "low":
+		return PriorityLow, nil
+	}
+	return 0, fmt.Errorf("serve: unknown priority %q (want high|normal|low)", s)
+}
+
+// String returns the wire spelling.
+func (p Priority) String() string {
+	switch p {
+	case PriorityHigh:
+		return "high"
+	case PriorityLow:
+		return "low"
+	default:
+		return "normal"
+	}
+}
+
+// jobQueue is the bounded priority queue feeding the worker pool. It
+// is not self-locking: the Server serializes access under its own
+// mutex, which also covers the queued jobs' state transitions.
+type jobQueue struct {
+	lanes [numLanes][]*Job
+	size  int
+	cap   int
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &jobQueue{cap: capacity}
+}
+
+// push appends the job to its lane; false means the queue is at
+// capacity and the job must be rejected (admission control).
+func (q *jobQueue) push(j *Job) bool {
+	if q.size >= q.cap {
+		return false
+	}
+	q.lanes[j.Priority] = append(q.lanes[j.Priority], j)
+	q.size++
+	return true
+}
+
+// pop removes and returns the oldest job of the highest non-empty
+// lane, or nil when the queue is empty.
+func (q *jobQueue) pop() *Job {
+	for lane := range q.lanes {
+		if len(q.lanes[lane]) == 0 {
+			continue
+		}
+		j := q.lanes[lane][0]
+		q.lanes[lane][0] = nil
+		q.lanes[lane] = q.lanes[lane][1:]
+		q.size--
+		return j
+	}
+	return nil
+}
+
+// remove deletes a specific queued job (cancellation); false means it
+// was not in the queue (already popped or never queued).
+func (q *jobQueue) remove(j *Job) bool {
+	lane := q.lanes[j.Priority]
+	for i, cand := range lane {
+		if cand == j {
+			q.lanes[j.Priority] = append(lane[:i:i], lane[i+1:]...)
+			q.size--
+			return true
+		}
+	}
+	return false
+}
+
+// depth returns the total queued-job count.
+func (q *jobQueue) depth() int { return q.size }
+
+// depths returns the per-lane counts in priority order (high, normal,
+// low).
+func (q *jobQueue) depths() [numLanes]int {
+	var d [numLanes]int
+	for lane := range q.lanes {
+		d[lane] = len(q.lanes[lane])
+	}
+	return d
+}

@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+
+	"waferscale/internal/core"
+	"waferscale/internal/fault"
+	"waferscale/internal/geom"
+	"waferscale/internal/noc"
+	"waferscale/internal/pdn"
+)
+
+// Run executes a normalized spec with the given host-worker budget and
+// returns the kind-specific result value (a plain struct, marshaled to
+// JSON by the server before caching). workers is the grant from the
+// server's CPU budget — it is threaded into every fan-out knob of the
+// underlying analysis, so co-scheduled jobs cannot oversubscribe the
+// host. emit, which may be nil, receives progress events; it must be
+// safe for concurrent use (Monte Carlo trial hooks fire from worker
+// goroutines).
+//
+// Cancellation: ctx is threaded into the analysis drivers (see
+// RunChaosCtx, Fig6SweepCtx, SolveCtx, Machine.RunCtx); on
+// cancellation Run returns ctx.Err() and whatever partial results the
+// drivers expose are discarded — a canceled job never caches.
+func Run(ctx context.Context, sp *Spec, workers int, emit func(Event)) (any, error) {
+	if emit == nil {
+		emit = func(Event) {}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	switch sp.Kind {
+	case "droop":
+		return runDroop(ctx, sp.Droop, workers, emit)
+	case "nocmc":
+		return runNoCMC(ctx, sp.NoCMC, workers, emit)
+	case "chaos":
+		return runChaos(ctx, sp.Chaos, workers, emit)
+	case "throughput":
+		return runThroughput(ctx, sp.Throughput, emit)
+	case "dse":
+		return runDSE(ctx, sp.DSE, workers, emit)
+	case "pareto":
+		return runPareto(ctx, sp.Pareto, workers, emit)
+	case "report":
+		return runReport(ctx, sp.Report, workers, emit)
+	}
+	return nil, fmt.Errorf("serve: unknown kind %q (spec not normalized?)", sp.Kind)
+}
+
+// DroopResult is the wire result of a droop job.
+type DroopResult struct {
+	MinVolt           float64   `json:"minVolt"`
+	MinAtX            int       `json:"minAtX"`
+	MinAtY            int       `json:"minAtY"`
+	ResistiveLossW    float64   `json:"resistiveLossW"`
+	Sweeps            int       `json:"sweeps"`
+	ResidualV         float64   `json:"residualV"`
+	TilesInRegulation int       `json:"tilesInRegulation"`
+	Tiles             int       `json:"tiles"`
+	CenterProfile     []float64 `json:"centerProfile"`
+}
+
+func runDroop(ctx context.Context, sp *DroopSpec, workers int, emit func(Event)) (any, error) {
+	d := core.NewDesign()
+	grid := geom.NewGrid(sp.Side, sp.Side)
+	sol, err := pdn.SolveCtx(ctx, pdn.Config{
+		Grid:         grid,
+		EdgeVolts:    sp.EdgeVolts,
+		TileCurrentA: d.TileCurrentA(),
+		SheetOhm:     d.SheetOhm,
+		Workers:      workers,
+		Progress: func(sweeps int, residualV float64) {
+			emit(Event{Stage: "sor", Done: int64(sweeps), Residual: residualV})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	min, at := sol.MinVolt()
+	reg := pdn.CheckRegulation(sol, d.LDO, d.Cfg.PeakTilePowerW)
+	return &DroopResult{
+		MinVolt:           min,
+		MinAtX:            at.X,
+		MinAtY:            at.Y,
+		ResistiveLossW:    sol.ResistiveLossW(),
+		Sweeps:            sol.Sweeps,
+		ResidualV:         sol.Residual,
+		TilesInRegulation: reg.TilesInRegulation,
+		Tiles:             grid.Size(),
+		CenterProfile:     sol.Profile(sp.Side / 2),
+	}, nil
+}
+
+// NoCMCResult is the wire result of a nocmc job; exactly one of the
+// two point lists is populated, matching the requested granularity.
+type NoCMCResult struct {
+	Points        []noc.Fig6Point        `json:"points,omitempty"`
+	ChipletPoints []noc.ChipletFig6Point `json:"chipletPoints,omitempty"`
+}
+
+func runNoCMC(ctx context.Context, sp *NoCMCSpec, workers int, emit func(Event)) (any, error) {
+	grid := core.NewDesign().Cfg.Grid()
+	step := sp.MaxFaults / 10
+	if step < 1 {
+		step = 1
+	}
+	var counts []int
+	for n := 1; n <= sp.MaxFaults; n += step {
+		counts = append(counts, n)
+	}
+	opts := noc.Fig6Opts{
+		Workers: workers,
+		Progress: func(done, total int) {
+			emit(Event{Stage: "trials", Done: int64(done), Total: int64(total)})
+		},
+	}
+	if sp.Chiplet {
+		pts, err := noc.ChipletFig6SweepCtx(ctx, grid, counts, sp.Trials, sp.Seed, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &NoCMCResult{ChipletPoints: pts}, nil
+	}
+	pts, err := noc.Fig6SweepCtx(ctx, grid, counts, sp.Trials, sp.Seed, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &NoCMCResult{Points: pts}, nil
+}
+
+// ChaosResult is the wire result of a chaos job.
+type ChaosResult struct {
+	Points []core.ChaosPoint `json:"points"`
+}
+
+func runChaos(ctx context.Context, sp *ChaosSpec, workers int, emit func(Event)) (any, error) {
+	d := core.NewDesign()
+	cfg := core.ChaosConfig{
+		Side:         sp.Side,
+		Workers:      sp.Workers,
+		Trials:       sp.Trials,
+		Seed:         sp.Seed,
+		Kills:        sp.Kills,
+		KillWindow:   [2]int64{sp.KillFrom, sp.KillTo},
+		MaxCycles:    sp.MaxCycles,
+		GraphSide:    sp.GraphSide,
+		TrialWorkers: workers,
+		Progress: func(done, total int, cycles int64) {
+			emit(Event{Stage: "trials", Done: int64(done), Total: int64(total), Cycles: cycles})
+		},
+	}
+	pts, err := d.RunChaosCtx(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ChaosResult{Points: pts}, nil
+}
+
+// ThroughputResult is the wire result of a throughput job.
+type ThroughputResult struct {
+	Points     []noc.ThroughputPoint `json:"points"`
+	Saturation float64               `json:"saturationBound"`
+}
+
+func runThroughput(ctx context.Context, sp *ThroughputSpec, emit func(Event)) (any, error) {
+	grid := geom.NewGrid(sp.Side, sp.Side)
+	fm := fault.Random(grid, sp.Faults, rand.New(rand.NewSource(sp.Seed)))
+	res := &ThroughputResult{Saturation: noc.TheoreticalSaturation(grid)}
+	// Rate points are measured one at a time — each builds its own Sim
+	// from the same seed, so per-rate results match the batched sweep
+	// exactly while cancellation lands between rates.
+	for i, rate := range sp.Rates {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pts, err := noc.MeasureThroughput(fm, noc.DefaultThroughputConfig(), []float64{rate})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pts[0])
+		emit(Event{Stage: "rates", Done: int64(i + 1), Total: int64(len(sp.Rates))})
+	}
+	return res, nil
+}
+
+// DSEResult is the wire result of a dse job.
+type DSEResult struct {
+	ArrayPoints []core.ArrayPoint `json:"arrayPoints"`
+}
+
+func runDSE(ctx context.Context, sp *DSESpec, workers int, emit func(Event)) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	d := core.NewDesign()
+	d.Workers = workers
+	pts, err := d.SweepArraySize(sp.Sides)
+	if err != nil {
+		return nil, err
+	}
+	emit(Event{Stage: "points", Done: int64(len(pts)), Total: int64(len(sp.Sides))})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &DSEResult{ArrayPoints: pts}, nil
+}
+
+// ParetoResult is the wire result of a pareto job.
+type ParetoResult struct {
+	All      []core.DesignPoint `json:"all"`
+	Frontier []core.DesignPoint `json:"frontier"`
+}
+
+func runPareto(ctx context.Context, sp *ParetoSpec, workers int, emit func(Event)) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	d := core.NewDesign()
+	d.Workers = workers
+	all, frontier, err := d.ExplorePareto(core.ParetoSpace{
+		Sides:   sp.Sides,
+		EdgeV:   sp.EdgeV,
+		Pillars: sp.Pillars,
+	})
+	if err != nil {
+		return nil, err
+	}
+	emit(Event{Stage: "points", Done: int64(len(all)), Total: int64(len(all))})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &ParetoResult{All: all, Frontier: frontier}, nil
+}
+
+// ReportResult is the wire result of a report job: the rendered
+// engineering report.
+type ReportResult struct {
+	Text string `json:"text"`
+}
+
+func runReport(ctx context.Context, sp *ReportSpec, workers int, emit func(Event)) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	d := core.NewDesign()
+	d.Workers = workers
+	fm := fault.Random(d.Cfg.Grid(), sp.Faults, rand.New(rand.NewSource(sp.Seed)))
+	var buf bytes.Buffer
+	if err := d.WriteFullReport(&buf, fm, sp.Trials, sp.Seed); err != nil {
+		return nil, err
+	}
+	emit(Event{Stage: "sections", Done: 1, Total: 1})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &ReportResult{Text: buf.String()}, nil
+}

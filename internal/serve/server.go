@@ -1,0 +1,579 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"waferscale/internal/parallel"
+)
+
+// Config sizes the server.
+type Config struct {
+	// Slots is the number of jobs computed concurrently; 0 means
+	// GOMAXPROCS. The CPU budget is partitioned across the slots
+	// (each job is granted Budget.Total()/Slots workers, at least 1),
+	// so co-scheduled jobs never oversubscribe the host.
+	Slots int
+	// QueueDepth bounds the queued-job backlog across all priority
+	// lanes; 0 means 64. A full queue answers 429 with Retry-After.
+	QueueDepth int
+	// CacheEntries / CacheBytes bound the result cache; 0 means the
+	// NewCache defaults (256 entries, 64 MiB).
+	CacheEntries int
+	CacheBytes   int64
+	// MaxJobRecords bounds retained job metadata; terminal records are
+	// pruned oldest-first past the bound. 0 means 1024.
+	MaxJobRecords int
+	// Budget supplies the CPU tokens; nil means a fresh GOMAXPROCS
+	// pool. Inject a shared budget when the daemon co-hosts other
+	// CPU-bound work.
+	Budget *parallel.Budget
+}
+
+// Server is the simulation-as-a-service daemon core: a bounded
+// priority job queue, a worker pool partitioning the CPU budget, a
+// content-addressed result cache with single-flight dedup of identical
+// in-flight requests, job lifecycle plus chunked progress streaming
+// over HTTP, and graceful drain.
+type Server struct {
+	slots  int
+	maxRec int
+	cache  *Cache
+	budget *parallel.Budget
+	mux    *http.ServeMux
+	runFn  func(context.Context, *Spec, int, func(Event)) (any, error)
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    *jobQueue
+	jobs     map[string]*Job
+	order    []string        // insertion order, for listing and pruning
+	inflight map[string]*Job // cache key -> queued/running job (single-flight)
+	running  int
+	draining bool
+	idSeq    int64
+
+	// Counters (under mu).
+	admitted, rejected, joins, executed int64
+
+	wg sync.WaitGroup
+}
+
+// New builds a Server and starts its worker pool. Callers must Drain
+// (or Close) it to stop the workers.
+func New(cfg Config) *Server {
+	if cfg.Slots <= 0 {
+		cfg.Slots = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxJobRecords <= 0 {
+		cfg.MaxJobRecords = 1024
+	}
+	if cfg.Budget == nil {
+		cfg.Budget = parallel.NewBudget(0)
+	}
+	s := &Server{
+		slots:    cfg.Slots,
+		maxRec:   cfg.MaxJobRecords,
+		cache:    NewCache(cfg.CacheEntries, cfg.CacheBytes),
+		budget:   cfg.Budget,
+		queue:    newJobQueue(cfg.QueueDepth),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		runFn:    Run,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.buildMux()
+	for i := 0; i < s.slots; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// worker pulls jobs off the priority queue and executes them until the
+// server drains and the queue is empty.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for !s.draining && s.queue.depth() == 0 {
+			s.cond.Wait()
+		}
+		j := s.queue.pop()
+		if j == nil { // draining and nothing left
+			s.mu.Unlock()
+			return
+		}
+		grant := s.budget.Acquire(parallel.FairShare(s.budget.Total(), s.slots))
+		j.state = StateRunning
+		j.started = time.Now()
+		j.workers = grant
+		s.running++
+		s.executed++
+		j.publish(Event{State: string(StateRunning)})
+		s.mu.Unlock()
+
+		res, err := s.runFn(j.ctx, j.Spec, grant, func(ev Event) {
+			s.mu.Lock()
+			j.publish(ev)
+			s.mu.Unlock()
+		})
+		s.budget.Release(grant)
+
+		s.mu.Lock()
+		s.running--
+		switch {
+		case err == nil:
+			payload, merr := json.Marshal(res)
+			if merr != nil {
+				s.finishLocked(j, StateFailed, fmt.Sprintf("marshal result: %v", merr), nil)
+			} else {
+				s.cache.Put(j.Key, payload)
+				s.finishLocked(j, StateDone, "", payload)
+			}
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			s.finishLocked(j, StateCanceled, "canceled", nil)
+		default:
+			s.finishLocked(j, StateFailed, err.Error(), nil)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// finishLocked moves a job to a terminal state, publishes the terminal
+// event, releases its subscribers and clears its single-flight entry.
+// Caller holds s.mu.
+func (s *Server) finishLocked(j *Job, st State, errStr string, result json.RawMessage) {
+	if j.state.terminal() {
+		return
+	}
+	j.state = st
+	j.err = errStr
+	j.result = result
+	j.finished = time.Now()
+	j.cancel() // release the context's resources in every path
+	if s.inflight[j.Key] == j {
+		delete(s.inflight, j.Key)
+	}
+	j.publish(Event{State: string(st), Error: errStr})
+	j.closeSubs()
+}
+
+// newJobLocked registers a job record. Caller holds s.mu.
+func (s *Server) newJobLocked(sp *Spec, key string, prio Priority) *Job {
+	s.idSeq++
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		ID:       "j" + strconv.FormatInt(s.idSeq, 10),
+		Key:      key,
+		Spec:     sp,
+		Priority: prio,
+		ctx:      ctx,
+		cancel:   cancel,
+		state:    StateQueued,
+		created:  time.Now(),
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.pruneLocked()
+	return j
+}
+
+// pruneLocked drops the oldest terminal job records past MaxJobRecords
+// so a long-lived daemon's memory stays bounded. Caller holds s.mu.
+func (s *Server) pruneLocked() {
+	if len(s.order) <= s.maxRec {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - s.maxRec
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if excess > 0 && j != nil && j.state.terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Drain gracefully shuts the server down: new submissions are refused,
+// queued jobs are canceled immediately, and running jobs are given
+// until ctx expires to finish before their contexts are canceled too.
+// It returns the number of running jobs that had to be force-canceled
+// (0 for a clean drain) once every worker goroutine has exited.
+func (s *Server) Drain(ctx context.Context) int {
+	s.mu.Lock()
+	s.draining = true
+	for {
+		j := s.queue.pop()
+		if j == nil {
+			break
+		}
+		s.finishLocked(j, StateCanceled, "server draining", nil)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	forced := 0
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, id := range s.order {
+			if j := s.jobs[id]; j != nil && j.state == StateRunning {
+				j.cancel()
+				forced++
+			}
+		}
+		s.mu.Unlock()
+		<-done // runners observe cancellation at bounded strides
+	}
+	return forced
+}
+
+// Close force-drains with no grace period (tests and defer paths).
+func (s *Server) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Drain(ctx)
+}
+
+// --- HTTP layer ---
+
+// submitRequest is the POST /v1/jobs body: the spec fields plus a
+// scheduling priority (which is deliberately not part of the cache
+// key).
+type submitRequest struct {
+	Priority string `json:"priority"`
+	Spec
+}
+
+// submitResponse is the POST /v1/jobs reply.
+type submitResponse struct {
+	JobStatus
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+// Stats is the GET /v1/stats payload.
+type Stats struct {
+	Cache         CacheStats     `json:"cache"`
+	InflightJoins int64          `json:"inflightJoins"`
+	Admitted      int64          `json:"admitted"`
+	Rejected      int64          `json:"rejected"`
+	Executed      int64          `json:"executed"`
+	QueueDepth    int            `json:"queueDepth"`
+	QueueLanes    map[string]int `json:"queueLanes"`
+	Running       int            `json:"running"`
+	Slots         int            `json:"slots"`
+	BudgetTotal   int            `json:"budgetTotal"`
+	BudgetFree    int            `json:"budgetFree"`
+	Draining      bool           `json:"draining"`
+	Jobs          map[string]int `json:"jobs"`
+	Goroutines    int            `json:"goroutines"`
+}
+
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	prio, err := ParsePriority(req.Priority)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sp := req.Spec
+	if err := sp.Normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := sp.CacheKey()
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	// Content-addressed fast path: the exact question was answered
+	// before — the job is born done with the cached result.
+	if payload, ok := s.cache.Get(key); ok {
+		j := s.newJobLocked(&sp, key, prio)
+		j.cached = true
+		j.result = payload
+		j.started, j.finished = j.created, j.created
+		j.state = StateDone
+		j.cancel()
+		j.publish(Event{State: string(StateDone)})
+		j.closeSubs()
+		resp := submitResponse{JobStatus: j.status(false)}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	// Single-flight: an identical request is already queued or running
+	// — join it instead of computing twice.
+	if live, ok := s.inflight[key]; ok {
+		live.joins++
+		s.joins++
+		resp := submitResponse{JobStatus: live.status(false), Deduped: true}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	// Admission control: a full queue refuses rather than buffering
+	// unboundedly; Retry-After scales with the backlog per slot.
+	j := s.newJobLocked(&sp, key, prio)
+	if !s.queue.push(j) {
+		s.rejected++
+		// Roll the record back — it never entered the system.
+		delete(s.jobs, j.ID)
+		s.order = s.order[:len(s.order)-1]
+		j.cancel()
+		depth := s.queue.depth()
+		s.mu.Unlock()
+		retry := depth / s.slots
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusTooManyRequests, "queue full (%d jobs)", depth)
+		return
+	}
+	s.admitted++
+	s.inflight[key] = j
+	j.publish(Event{State: string(StateQueued)})
+	s.cond.Signal()
+	resp := submitResponse{JobStatus: j.status(false)}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+func (s *Server) jobByID(r *http.Request) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	return j, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	stateFilter := r.URL.Query().Get("state")
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok || (stateFilter != "" && string(j.state) != stateFilter) {
+			continue
+		}
+		out = append(out, j.status(false))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	st := j.status(true)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	state, errStr, payload := j.state, j.err, j.result
+	s.mu.Unlock()
+	switch state {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(payload)
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, "job failed: %s", errStr)
+	case StateCanceled:
+		writeError(w, http.StatusGone, "job canceled")
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]string{"state": string(state)})
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	switch j.state {
+	case StateQueued:
+		s.queue.remove(j)
+		s.finishLocked(j, StateCanceled, "canceled by client", nil)
+	case StateRunning:
+		// The worker owns the terminal transition; canceling the
+		// context makes the runner return promptly and the slot's CPU
+		// grant flow to the next queued job.
+		j.cancel()
+	}
+	st := j.status(false)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	ch, replay := j.subscribe()
+	s.mu.Unlock()
+
+	flusher, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for _, ev := range replay {
+		enc.Encode(ev)
+	}
+	if canFlush {
+		flusher.Flush()
+	}
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				// Terminal: the state event is normally already in the
+				// stream, but a lossy subscriber buffer may have
+				// dropped it — emit the final state unconditionally
+				// (clients must tolerate a duplicate).
+				s.mu.Lock()
+				final := Event{Seq: j.seq, UnixMS: time.Now().UnixMilli(), State: string(j.state), Error: j.err}
+				s.mu.Unlock()
+				enc.Encode(final)
+				if canFlush {
+					flusher.Flush()
+				}
+				return
+			}
+			enc.Encode(ev)
+			if canFlush {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			s.mu.Lock()
+			j.unsubscribe(ch)
+			s.mu.Unlock()
+			return
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// Snapshot returns the server counters (also used by the daemon's
+// drain logging and the tests).
+func (s *Server) Snapshot() Stats {
+	s.mu.Lock()
+	lanes := s.queue.depths()
+	st := Stats{
+		InflightJoins: s.joins,
+		Admitted:      s.admitted,
+		Rejected:      s.rejected,
+		Executed:      s.executed,
+		QueueDepth:    s.queue.depth(),
+		QueueLanes: map[string]int{
+			"high":   lanes[PriorityHigh],
+			"normal": lanes[PriorityNormal],
+			"low":    lanes[PriorityLow],
+		},
+		Running:     s.running,
+		Slots:       s.slots,
+		BudgetTotal: s.budget.Total(),
+		Draining:    s.draining,
+		Jobs:        map[string]int{},
+		Goroutines:  runtime.NumGoroutine(),
+	}
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil {
+			st.Jobs[string(j.state)]++
+		}
+	}
+	s.mu.Unlock()
+	st.Cache = s.cache.Stats()
+	st.BudgetFree = s.budget.Free()
+	return st
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

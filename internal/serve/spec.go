@@ -1,0 +1,329 @@
+// Package serve is the simulation-as-a-service layer: it exposes the
+// repository's analyses (droop solves, Fig. 6 network Monte Carlo,
+// chaos survival sweeps, NoC throughput curves, DSE and Pareto
+// exploration, the full engineering report) as asynchronous jobs
+// behind a stdlib-only HTTP/JSON API.
+//
+// Design-space exploration is an interactive, repetitive workload —
+// many near-duplicate parameter-sweep queries — so the server is built
+// around three ideas: a bounded priority job queue with admission
+// control (saturation answers 429, never queues unboundedly), a
+// content-addressed result cache keyed by the canonical JSON of the
+// fully-defaulted request spec (identical questions are computed
+// once), and single-flight deduplication of identical in-flight
+// requests (concurrent identical submissions join the same job). A
+// CPU-token budget layered on internal/parallel partitions GOMAXPROCS
+// between co-scheduled jobs so their internal fan-out never
+// oversubscribes the host.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Spec is the content-addressed description of one analysis request.
+// Exactly one kind-specific section is consulted (the one matching
+// Kind); Normalize clears the others and fills every unset field of
+// the active section with its default, so two requests that ask the
+// same question — regardless of JSON field order, omitted defaults, or
+// stray irrelevant sections — normalize to identical specs and hash to
+// the same cache key.
+type Spec struct {
+	// Kind selects the analysis: droop | nocmc | chaos | throughput |
+	// dse | pareto | report.
+	Kind string `json:"kind"`
+
+	Droop      *DroopSpec      `json:"droop,omitempty"`
+	NoCMC      *NoCMCSpec      `json:"nocmc,omitempty"`
+	Chaos      *ChaosSpec      `json:"chaos,omitempty"`
+	Throughput *ThroughputSpec `json:"throughput,omitempty"`
+	DSE        *DSESpec        `json:"dse,omitempty"`
+	Pareto     *ParetoSpec     `json:"pareto,omitempty"`
+	Report     *ReportSpec     `json:"report,omitempty"`
+}
+
+// DroopSpec parametrizes a Fig. 2 power-delivery solve.
+type DroopSpec struct {
+	// Side is the tile-array side; 0 means the prototype's 32.
+	Side int `json:"side"`
+	// EdgeVolts is the edge-ring supply; 0 means the prototype's 2.5 V.
+	EdgeVolts float64 `json:"edgeVolts"`
+}
+
+// NoCMCSpec parametrizes the Fig. 6 disconnected-pairs Monte Carlo.
+type NoCMCSpec struct {
+	Trials    int   `json:"trials"`    // per fault count; 0 -> 16
+	Seed      int64 `json:"seed"`      // 0 -> 2021
+	MaxFaults int   `json:"maxFaults"` // sweep ceiling; 0 -> 20
+	Chiplet   bool  `json:"chiplet"`   // fault at chiplet granularity
+}
+
+// ChaosSpec parametrizes a runtime-fault survival sweep; zero fields
+// take the defaults of core.DefaultChaosConfig.
+type ChaosSpec struct {
+	Side      int    `json:"side"`
+	Workers   int    `json:"workers"` // simulated BFS worker cores
+	Trials    int    `json:"trials"`
+	Seed      int64  `json:"seed"`
+	Kills     []int  `json:"kills"`
+	KillFrom  int64  `json:"killFrom"`
+	KillTo    int64  `json:"killTo"`
+	MaxCycles int64  `json:"maxCycles"`
+	GraphSide int    `json:"graphSide"`
+}
+
+// ThroughputSpec parametrizes a NoC latency-throughput sweep.
+type ThroughputSpec struct {
+	Side   int       `json:"side"`   // 0 -> 8
+	Faults int       `json:"faults"` // random faulty tiles
+	Seed   int64     `json:"seed"`   // 0 -> 1
+	Rates  []float64 `json:"rates"`  // offered injection rates; empty -> default curve
+}
+
+// DSESpec parametrizes the array-size design sweep.
+type DSESpec struct {
+	Sides []int `json:"sides"` // empty -> {8, 16, 24, 32, 40, 48}
+}
+
+// ParetoSpec parametrizes the (throughput, power, yield) exploration.
+type ParetoSpec struct {
+	Sides   []int     `json:"sides"`   // empty -> {16, 24, 32, 40}
+	EdgeV   []float64 `json:"edgeV"`   // empty -> {2.0, 2.5, 3.0}
+	Pillars []int     `json:"pillars"` // empty -> {1, 2}
+}
+
+// ReportSpec parametrizes the full engineering report.
+type ReportSpec struct {
+	Faults int   `json:"faults"` // random faulty tiles; -1 -> none, 0 -> 5
+	Trials int   `json:"trials"` // Monte Carlo trials; 0 -> 8
+	Seed   int64 `json:"seed"`   // 0 -> 2021
+}
+
+// Kinds lists the accepted Spec.Kind values.
+func Kinds() []string {
+	return []string{"droop", "nocmc", "chaos", "throughput", "dse", "pareto", "report"}
+}
+
+// Limits that keep a single request from monopolizing the daemon.
+// They bound the knobs that scale superlinearly; anything larger
+// belongs in the offline CLI, not a shared service.
+const (
+	maxSide      = 64
+	maxTrials    = 4096
+	maxMaxCycles = 20_000_000
+	maxSweepLen  = 64
+)
+
+// Normalize validates the spec, fills every unset field of the active
+// section with its default, and clears the sections of the other
+// kinds. After Normalize, semantically identical requests are
+// structurally identical, which is what makes CacheKey content-
+// addressed. It must be called before CacheKey or Run.
+func (s *Spec) Normalize() error {
+	s.Kind = strings.ToLower(strings.TrimSpace(s.Kind))
+	droop, nocmc, chaos, tp, dse, pareto, report := s.Droop, s.NoCMC, s.Chaos, s.Throughput, s.DSE, s.Pareto, s.Report
+	s.Droop, s.NoCMC, s.Chaos, s.Throughput, s.DSE, s.Pareto, s.Report = nil, nil, nil, nil, nil, nil, nil
+	switch s.Kind {
+	case "droop":
+		if droop == nil {
+			droop = &DroopSpec{}
+		}
+		if droop.Side == 0 {
+			droop.Side = 32
+		}
+		if droop.EdgeVolts == 0 {
+			droop.EdgeVolts = 2.5
+		}
+		if droop.Side < 3 || droop.Side > maxSide {
+			return fmt.Errorf("serve: droop side %d outside 3..%d", droop.Side, maxSide)
+		}
+		if droop.EdgeVolts <= 0 || droop.EdgeVolts > 10 {
+			return fmt.Errorf("serve: droop edge supply %.3g V non-physical", droop.EdgeVolts)
+		}
+		s.Droop = droop
+	case "nocmc":
+		if nocmc == nil {
+			nocmc = &NoCMCSpec{}
+		}
+		if nocmc.Trials == 0 {
+			nocmc.Trials = 16
+		}
+		if nocmc.Seed == 0 {
+			nocmc.Seed = 2021
+		}
+		if nocmc.MaxFaults == 0 {
+			nocmc.MaxFaults = 20
+		}
+		if nocmc.Trials < 1 || nocmc.Trials > maxTrials {
+			return fmt.Errorf("serve: nocmc trials %d outside 1..%d", nocmc.Trials, maxTrials)
+		}
+		if nocmc.MaxFaults < 1 || nocmc.MaxFaults > 1024 {
+			return fmt.Errorf("serve: nocmc maxFaults %d outside 1..1024", nocmc.MaxFaults)
+		}
+		s.NoCMC = nocmc
+	case "chaos":
+		if chaos == nil {
+			chaos = &ChaosSpec{}
+		}
+		if chaos.Side == 0 {
+			chaos.Side = 8
+		}
+		if chaos.Workers == 0 {
+			chaos.Workers = 16
+		}
+		if chaos.Trials == 0 {
+			chaos.Trials = 8
+		}
+		if chaos.Seed == 0 {
+			chaos.Seed = 2021
+		}
+		if len(chaos.Kills) == 0 {
+			chaos.Kills = []int{0, 1, 2, 4, 8}
+		}
+		if chaos.KillFrom == 0 {
+			chaos.KillFrom = 500
+		}
+		if chaos.KillTo == 0 {
+			chaos.KillTo = 5000
+		}
+		if chaos.MaxCycles == 0 {
+			chaos.MaxCycles = 400_000
+		}
+		if chaos.GraphSide == 0 {
+			chaos.GraphSide = 8
+		}
+		if chaos.Side < 2 || chaos.Side > maxSide {
+			return fmt.Errorf("serve: chaos side %d outside 2..%d", chaos.Side, maxSide)
+		}
+		if chaos.Trials < 1 || chaos.Trials > maxTrials {
+			return fmt.Errorf("serve: chaos trials %d outside 1..%d", chaos.Trials, maxTrials)
+		}
+		if chaos.MaxCycles < 1 || chaos.MaxCycles > maxMaxCycles {
+			return fmt.Errorf("serve: chaos maxCycles %d outside 1..%d", chaos.MaxCycles, maxMaxCycles)
+		}
+		if len(chaos.Kills) > maxSweepLen {
+			return fmt.Errorf("serve: chaos sweeps %d kill counts, max %d", len(chaos.Kills), maxSweepLen)
+		}
+		for _, k := range chaos.Kills {
+			if k < 0 || k > chaos.Side*chaos.Side {
+				return fmt.Errorf("serve: chaos kill count %d outside 0..%d", k, chaos.Side*chaos.Side)
+			}
+		}
+		s.Chaos = chaos
+	case "throughput":
+		if tp == nil {
+			tp = &ThroughputSpec{}
+		}
+		if tp.Side == 0 {
+			tp.Side = 8
+		}
+		if tp.Seed == 0 {
+			tp.Seed = 1
+		}
+		if len(tp.Rates) == 0 {
+			tp.Rates = []float64{0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0}
+		}
+		if tp.Side < 2 || tp.Side > maxSide {
+			return fmt.Errorf("serve: throughput side %d outside 2..%d", tp.Side, maxSide)
+		}
+		if tp.Faults < 0 || tp.Faults >= tp.Side*tp.Side {
+			return fmt.Errorf("serve: throughput faults %d outside 0..%d", tp.Faults, tp.Side*tp.Side-1)
+		}
+		if len(tp.Rates) > maxSweepLen {
+			return fmt.Errorf("serve: throughput sweeps %d rates, max %d", len(tp.Rates), maxSweepLen)
+		}
+		for _, r := range tp.Rates {
+			if r <= 0 || r > 1 {
+				return fmt.Errorf("serve: throughput rate %.3g outside (0, 1]", r)
+			}
+		}
+		s.Throughput = tp
+	case "dse":
+		if dse == nil {
+			dse = &DSESpec{}
+		}
+		if len(dse.Sides) == 0 {
+			dse.Sides = []int{8, 16, 24, 32, 40, 48}
+		}
+		if len(dse.Sides) > maxSweepLen {
+			return fmt.Errorf("serve: dse sweeps %d sides, max %d", len(dse.Sides), maxSweepLen)
+		}
+		for _, side := range dse.Sides {
+			if side < 3 || side > maxSide {
+				return fmt.Errorf("serve: dse side %d outside 3..%d", side, maxSide)
+			}
+		}
+		s.DSE = dse
+	case "pareto":
+		if pareto == nil {
+			pareto = &ParetoSpec{}
+		}
+		if len(pareto.Sides) == 0 {
+			pareto.Sides = []int{16, 24, 32, 40}
+		}
+		if len(pareto.EdgeV) == 0 {
+			pareto.EdgeV = []float64{2.0, 2.5, 3.0}
+		}
+		if len(pareto.Pillars) == 0 {
+			pareto.Pillars = []int{1, 2}
+		}
+		if n := len(pareto.Sides) * len(pareto.EdgeV) * len(pareto.Pillars); n > 256 {
+			return fmt.Errorf("serve: pareto grid has %d points, max 256", n)
+		}
+		for _, side := range pareto.Sides {
+			if side < 3 || side > maxSide {
+				return fmt.Errorf("serve: pareto side %d outside 3..%d", side, maxSide)
+			}
+		}
+		s.Pareto = pareto
+	case "report":
+		if report == nil {
+			report = &ReportSpec{}
+		}
+		if report.Faults == 0 {
+			report.Faults = 5
+		}
+		if report.Faults == -1 {
+			report.Faults = 0
+		}
+		if report.Trials == 0 {
+			report.Trials = 8
+		}
+		if report.Seed == 0 {
+			report.Seed = 2021
+		}
+		if report.Faults < 0 || report.Faults > 1024 {
+			return fmt.Errorf("serve: report faults %d outside 0..1024", report.Faults)
+		}
+		if report.Trials < 1 || report.Trials > maxTrials {
+			return fmt.Errorf("serve: report trials %d outside 1..%d", report.Trials, maxTrials)
+		}
+		s.Report = report
+	case "":
+		return fmt.Errorf("serve: missing kind (want one of %s)", strings.Join(Kinds(), "|"))
+	default:
+		return fmt.Errorf("serve: unknown kind %q (want one of %s)", s.Kind, strings.Join(Kinds(), "|"))
+	}
+	return nil
+}
+
+// CacheKey returns the content address of a normalized spec: the hex
+// SHA-256 of its canonical JSON. encoding/json marshals struct fields
+// in declaration order and the spec contains no maps, so the encoding
+// — and therefore the key — is deterministic; Normalize guarantees
+// that semantically identical requests reach here structurally
+// identical. Calling CacheKey on a spec that has not been normalized
+// is a bug (keys would fragment per client spelling).
+func (s *Spec) CacheKey() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// A Spec is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("serve: spec marshal: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

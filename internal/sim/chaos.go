@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"waferscale/internal/arch"
@@ -42,6 +43,15 @@ type ChaosResult struct {
 // the degradation report. Call m.Close after the run to release the
 // shard worker goroutines.
 func RunSSSPUnderFaults(m *Machine, g *Graph, src int, workers []WorkerRef, maxCycles int64) (*ChaosResult, error) {
+	return RunSSSPUnderFaultsCtx(context.Background(), m, g, src, workers, maxCycles)
+}
+
+// RunSSSPUnderFaultsCtx is RunSSSPUnderFaults with cancellation: the
+// machine checks ctx at cycle-boundary strides (see Machine.RunCtx),
+// and on cancellation the setup error returned is ctx.Err() — no
+// ChaosResult is produced, since a mid-run snapshot would look like a
+// budget expiry rather than a cancelled run.
+func RunSSSPUnderFaultsCtx(ctx context.Context, m *Machine, g *Graph, src int, workers []WorkerRef, maxCycles int64) (*ChaosResult, error) {
 	distA, err := layoutSSSP(m, g, src, len(workers))
 	if err != nil {
 		return nil, err
@@ -63,7 +73,10 @@ func RunSSSPUnderFaults(m *Machine, g *Graph, src int, workers []WorkerRef, maxC
 	}
 
 	res := &ChaosResult{}
-	res.RunErr = m.Run(maxCycles)
+	res.RunErr = m.RunCtx(ctx, maxCycles)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res.Completed = res.RunErr == nil
 	if res.RunErr == nil {
 		if faults := m.Faults(); len(faults) > 0 {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -160,6 +161,12 @@ type Machine struct {
 	remap  map[int]int
 	shadow map[int][]byte
 	degr   DegradationReport
+
+	// Progress, when non-nil, is invoked by RunCtx every
+	// runProgressStride cycles with the current machine cycle — the
+	// cycles-stepped feed the serve layer streams to clients. It runs
+	// on the goroutine driving the machine, never concurrently.
+	Progress func(cycle int64)
 
 	// Stats.
 	RemoteRequests int64
@@ -805,9 +812,28 @@ func (m *Machine) flushForwards() {
 
 // Run steps until every started core halts or maxCycles pass.
 func (m *Machine) Run(maxCycles int64) error {
+	return m.RunCtx(context.Background(), maxCycles)
+}
+
+// RunCtx is Run with cancellation and optional cycle progress: every
+// runProgressStride cycles the machine checks ctx (returning ctx.Err()
+// with the machine paused at a cycle boundary — the state stays
+// consistent and the run can even be resumed by calling Run again) and
+// invokes Progress, if set, with the current cycle count. The
+// execution itself is bit-identical to Run for any ctx that is never
+// cancelled.
+func (m *Machine) RunCtx(ctx context.Context, maxCycles int64) error {
 	for i := int64(0); i < maxCycles; i++ {
 		if m.AllHalted() {
 			return nil
+		}
+		if i%runProgressStride == 0 && i > 0 {
+			if m.Progress != nil {
+				m.Progress(m.cycle)
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 		}
 		m.Step()
 	}
@@ -816,6 +842,11 @@ func (m *Machine) Run(maxCycles int64) error {
 	}
 	return fmt.Errorf("sim: not halted after %d cycles", maxCycles)
 }
+
+// runProgressStride is the cycle interval between RunCtx's ctx checks
+// and Progress callbacks — coarse enough to stay off the hot path's
+// profile, fine enough that cancellation lands within milliseconds.
+const runProgressStride = 4096
 
 // AllHalted reports whether every core is halted or faulted — an O(1)
 // counter check (the full scan survives under the fullScan test flag).

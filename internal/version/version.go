@@ -1,0 +1,51 @@
+// Package version reports the build identity of the repo's binaries
+// from the information the Go toolchain already embeds — module
+// version, VCS revision and dirty flag via runtime/debug.ReadBuildInfo
+// — so no ldflags stamping is needed.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// String renders a one-line build identity, e.g.
+//
+//	waferscale (devel) go1.24.0 linux/amd64 rev 1a2b3c4d (dirty)
+func String() string {
+	var b strings.Builder
+	mod, rev, dirty := "waferscale", "", false
+	if info, ok := debug.ReadBuildInfo(); ok {
+		if info.Main.Path != "" {
+			mod = info.Main.Path
+		}
+		ver := info.Main.Version
+		if ver == "" {
+			ver = "(devel)"
+		}
+		fmt.Fprintf(&b, "%s %s", mod, ver)
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+	} else {
+		fmt.Fprintf(&b, "%s (unknown build)", mod)
+	}
+	fmt.Fprintf(&b, " %s %s/%s", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " rev %s", rev)
+		if dirty {
+			b.WriteString(" (dirty)")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the waferscaled daemon: build, start on a random
+# port, submit/poll/replay/cancel jobs over the public HTTP API, then
+# SIGTERM-drain and assert a clean exit (the daemon self-checks for
+# leaked goroutines and exits nonzero on a leak).
+#
+# Asserts:
+#   * a submitted droop job completes and serves a plausible result
+#   * an identical resubmission is answered from the result cache
+#     without recomputation (executed stays 1, cache hits becomes 1)
+#   * a canceled queued job reports state=canceled
+#   * SIGTERM drains with exit code 0
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="$(mktemp -d)/waferscaled"
+LOG="$(mktemp)"
+trap 'kill "$DPID" 2>/dev/null || true; rm -rf "$(dirname "$BIN")" "$LOG"' EXIT
+
+go build -o "$BIN" ./cmd/waferscaled
+
+"$BIN" -addr 127.0.0.1:0 -slots 1 >"$LOG" 2>&1 &
+DPID=$!
+
+# Wait for the parseable listen line.
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^waferscaled listening on \(.*\)$/\1/p' "$LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "FAIL: daemon never listened"; cat "$LOG"; exit 1; }
+BASE="http://$ADDR"
+echo "daemon at $BASE"
+
+post() { curl -sf -X POST -d "$1" "$BASE/v1/jobs"; }
+field() { # field <json> <key>  -> scalar value of a top-level "key":value
+  echo "$1" | tr -d ' \n' | sed -n "s/.*\"$2\":\"\{0,1\}\([^\",}]*\)\"\{0,1\}.*/\1/p"
+}
+
+SPEC='{"kind":"droop","droop":{"side":8}}'
+
+# 1. Submit and poll to completion.
+R1=$(post "$SPEC")
+J1=$(field "$R1" id)
+[ -n "$J1" ] || { echo "FAIL: no job id in $R1"; exit 1; }
+STATE=""
+for _ in $(seq 1 300); do
+  STATE=$(field "$(curl -sf "$BASE/v1/jobs/$J1")" state)
+  [ "$STATE" = done ] && break
+  [ "$STATE" = failed ] && { echo "FAIL: job failed"; curl -s "$BASE/v1/jobs/$J1"; exit 1; }
+  sleep 0.1
+done
+[ "$STATE" = done ] || { echo "FAIL: job $J1 stuck in $STATE"; exit 1; }
+curl -sf "$BASE/v1/jobs/$J1/result" | grep -q minVolt || { echo "FAIL: result missing minVolt"; exit 1; }
+echo "ok: job $J1 done with result"
+
+# 2. Identical resubmission must be a cache hit, not a recomputation.
+R2=$(post "$SPEC")
+[ "$(field "$R2" cached)" = true ] || { echo "FAIL: replay not cached: $R2"; exit 1; }
+STATS=$(curl -sf "$BASE/v1/stats")
+HITS=$(echo "$STATS" | tr -d ' \n' | sed -n 's/.*"hits":\([0-9]*\).*/\1/p')
+EXECUTED=$(echo "$STATS" | tr -d ' \n' | sed -n 's/.*"executed":\([0-9]*\).*/\1/p')
+[ "$HITS" = 1 ] || { echo "FAIL: cache hits=$HITS want 1"; exit 1; }
+[ "$EXECUTED" = 1 ] || { echo "FAIL: executed=$EXECUTED want 1 (replay recomputed)"; exit 1; }
+echo "ok: replay served from cache (executed=1, hits=1)"
+
+# 3. Cancel: occupy the single slot, queue a job, cancel the queued one.
+RB=$(post '{"kind":"chaos","chaos":{"trials":4,"maxCycles":2000000}}')
+JB=$(field "$RB" id)
+RQ=$(post '{"kind":"nocmc"}')
+JQ=$(field "$RQ" id)
+curl -sf -X DELETE "$BASE/v1/jobs/$JQ" >/dev/null
+QSTATE=""
+for _ in $(seq 1 50); do # instant for a queued job; a just-started one needs a beat to observe its context
+  QSTATE=$(field "$(curl -sf "$BASE/v1/jobs/$JQ")" state)
+  [ "$QSTATE" = canceled ] && break
+  sleep 0.1
+done
+[ "$QSTATE" = canceled ] || { echo "FAIL: job $JQ not canceled (state=$QSTATE)"; exit 1; }
+curl -sf -X DELETE "$BASE/v1/jobs/$JB" >/dev/null
+echo "ok: cancel (queued + running)"
+
+# 4. Drain: SIGTERM must exit 0 (daemon self-checks goroutine leaks).
+kill -TERM "$DPID"
+EXIT=0
+wait "$DPID" || EXIT=$?
+if [ "$EXIT" != 0 ]; then
+  echo "FAIL: drain exit=$EXIT"; cat "$LOG"; exit 1
+fi
+grep -q "drained clean" "$LOG" || { echo "FAIL: no clean-drain line"; cat "$LOG"; exit 1; }
+echo "ok: SIGTERM drained clean (exit 0)"
+echo "serve e2e PASS"
