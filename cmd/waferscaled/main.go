@@ -9,6 +9,18 @@
 //
 //	waferscaled [-addr 127.0.0.1:8432] [-slots N] [-queue N]
 //	            [-cache-entries N] [-cache-mb N] [-drain-timeout 30s]
+//	            [-data-dir DIR] [-store-mb N]
+//	            [-stall-timeout 0] [-stall-retries 2]
+//
+// With -data-dir the daemon is crash-safe: results are written through
+// to a checksummed disk store and every job transition to a write-ahead
+// journal, both under DIR. On startup the journal is replayed —
+// interrupted jobs are re-enqueued, corrupt store entries quarantined —
+// before /readyz goes 200, so a kill -9 loses no accepted work.
+//
+// With -stall-timeout a watchdog cancels running jobs whose progress
+// stalls longer than the timeout and retries them (-stall-retries
+// times, jittered backoff) before failing them.
 //
 // On SIGTERM/SIGINT the daemon stops accepting work, finishes running
 // jobs within -drain-timeout (then force-cancels them), verifies that
@@ -24,21 +36,42 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
 	"waferscale/internal/serve"
+	"waferscale/internal/store"
 	"waferscale/internal/version"
 )
 
+// options carries the parsed flags into run.
+type options struct {
+	addr         string
+	slots        int
+	queue        int
+	cacheEntries int
+	cacheMB      int
+	drainTimeout time.Duration
+	dataDir      string
+	storeMB      int
+	stallTimeout time.Duration
+	stallRetries int
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8432", "listen address (port 0 picks a free port)")
-	slots := flag.Int("slots", 0, "concurrent jobs (0 = GOMAXPROCS)")
-	queue := flag.Int("queue", 0, "queued-job bound across priority lanes (0 = 64)")
-	cacheEntries := flag.Int("cache-entries", 0, "result-cache entry bound (0 = 256)")
-	cacheMB := flag.Int("cache-mb", 0, "result-cache byte bound in MiB (0 = 64)")
-	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for running jobs at shutdown")
+	var opt options
+	flag.StringVar(&opt.addr, "addr", "127.0.0.1:8432", "listen address (port 0 picks a free port)")
+	flag.IntVar(&opt.slots, "slots", 0, "concurrent jobs (0 = GOMAXPROCS)")
+	flag.IntVar(&opt.queue, "queue", 0, "queued-job bound across priority lanes (0 = 64)")
+	flag.IntVar(&opt.cacheEntries, "cache-entries", 0, "result-cache entry bound (0 = 256)")
+	flag.IntVar(&opt.cacheMB, "cache-mb", 0, "result-cache byte bound in MiB (0 = 64)")
+	flag.DurationVar(&opt.drainTimeout, "drain-timeout", 30*time.Second, "grace period for running jobs at shutdown")
+	flag.StringVar(&opt.dataDir, "data-dir", "", "durability directory for the disk store and job journal (empty = ephemeral)")
+	flag.IntVar(&opt.storeMB, "store-mb", 512, "disk-store byte bound in MiB (0 = unbounded)")
+	flag.DurationVar(&opt.stallTimeout, "stall-timeout", 0, "cancel-and-retry running jobs with no progress for this long (0 = off)")
+	flag.IntVar(&opt.stallRetries, "stall-retries", 2, "watchdog re-runs per stalled job before failing it (-1 = none)")
 	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
@@ -46,25 +79,77 @@ func main() {
 		fmt.Println(version.String())
 		return
 	}
-	if err := run(*addr, *slots, *queue, *cacheEntries, *cacheMB, *drainTimeout); err != nil {
+	if err := run(opt); err != nil {
 		fmt.Fprintf(os.Stderr, "waferscaled: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, slots, queue, cacheEntries, cacheMB int, drainTimeout time.Duration) error {
+// openDurability opens the disk store and journal under dataDir and
+// logs what the startup scan found, in the parseable one-line form the
+// e2e harness greps for.
+func openDurability(dataDir string, storeMB int) (*store.Store, *store.Journal, []store.LiveJob, error) {
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return nil, nil, nil, fmt.Errorf("data dir: %w", err)
+	}
+	ds, err := store.Open(filepath.Join(dataDir, "store"), int64(storeMB)<<20)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ss := ds.Stats()
+	fmt.Printf("waferscaled: store: %d entries (%d KiB), quarantined %d, torn temps %d\n",
+		ss.Entries, ss.Bytes>>10, ss.Quarantined, ss.TornTemps)
+
+	jr, live, err := store.OpenJournal(filepath.Join(dataDir, "journal.jsonl"))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rs := jr.ReplayStats()
+	fmt.Printf("waferscaled: journal: replayed %d record(s), %d torn, %d live\n",
+		rs.Records, rs.TornRecords, rs.Live)
+	return ds, jr, live, nil
+}
+
+func run(opt options) error {
 	// Baseline for the shutdown leak check, taken before any server
 	// machinery spins up.
 	baseGoroutines := runtime.NumGoroutine()
 
-	srv := serve.New(serve.Config{
-		Slots:        slots,
-		QueueDepth:   queue,
-		CacheEntries: cacheEntries,
-		CacheBytes:   int64(cacheMB) << 20,
-	})
-	ln, err := net.Listen("tcp", addr)
+	cfg := serve.Config{
+		Slots:        opt.slots,
+		QueueDepth:   opt.queue,
+		CacheEntries: opt.cacheEntries,
+		CacheBytes:   int64(opt.cacheMB) << 20,
+		StallTimeout: opt.stallTimeout,
+		StallRetries: opt.stallRetries,
+	}
+	var jr *store.Journal
+	var live []store.LiveJob
+	if opt.dataDir != "" {
+		var ds *store.Store
+		var err error
+		ds, jr, live, err = openDurability(opt.dataDir, opt.storeMB)
+		if err != nil {
+			return err
+		}
+		defer jr.Close()
+		cfg.Store = ds
+		cfg.Journal = jr
+	}
+
+	srv := serve.New(cfg)
+	// Replay the crash backlog before announcing the listener: by the
+	// time a client can connect, /readyz tells the truth and every
+	// interrupted job is back in its queue lane.
+	if jr != nil {
+		rs := srv.Recover(live)
+		fmt.Printf("waferscaled: re-enqueued %d interrupted job(s), %d served from store, %d dropped\n",
+			rs.Requeued, rs.FromStore, rs.Dropped)
+	}
+
+	ln, err := net.Listen("tcp", opt.addr)
 	if err != nil {
+		srv.Close()
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
@@ -86,8 +171,8 @@ func run(addr string, slots, queue, cacheEntries, cacheMB int, drainTimeout time
 	}
 	stop() // a second signal kills the process the default way
 
-	fmt.Printf("waferscaled: draining (grace %s)\n", drainTimeout)
-	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	fmt.Printf("waferscaled: draining (grace %s)\n", opt.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), opt.drainTimeout)
 	forced := srv.Drain(drainCtx)
 	cancel()
 	if forced > 0 {

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSpecNormalize hammers the submission path's parse/normalize/key
+// pipeline with arbitrary JSON. Invariants: Normalize never panics;
+// when it accepts a spec it is idempotent (normalizing twice changes
+// nothing) and the cache key survives a marshal/unmarshal round trip —
+// the content-addressed store and the journal's replay both depend on
+// a spec hashing identically no matter which daemon generation (or
+// JSON field order) produced it.
+func FuzzSpecNormalize(f *testing.F) {
+	f.Add([]byte(`{"kind":"droop","droop":{"side":8,"edgeVolts":2.5}}`))
+	f.Add([]byte(`{"droop":{"side":4},"kind":"droop"}`)) // reordered fields
+	f.Add([]byte(`{"kind":"nocmc","nocmc":{"trials":16,"seed":2021,"maxFaults":20,"chiplet":true}}`))
+	f.Add([]byte(`{"kind":"chaos","chaos":{"side":8,"trials":2,"kills":[3,1,2],"maxCycles":30000}}`))
+	f.Add([]byte(`{"kind":"throughput","throughput":{"rates":[0.1,0.02]}}`))
+	f.Add([]byte(`{"kind":"dse","dse":{"sides":[8,16]}}`))
+	f.Add([]byte(`{"kind":"pareto","pareto":{"edgeV":[3.0,2.0]}}`))
+	f.Add([]byte(`{"kind":"report","report":{"faults":-1}}`))
+	f.Add([]byte(`{"kind":"droop","droop":{"side":-1}}`))
+	f.Add([]byte(`{"kind":""}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sp Spec
+		if err := json.Unmarshal(data, &sp); err != nil {
+			return // not a spec; nothing to assert
+		}
+		if err := sp.Normalize(); err != nil {
+			return // rejected specs just need to not panic
+		}
+		key := sp.CacheKey()
+		if len(key) != 64 {
+			t.Fatalf("cache key %q is not 64 hex chars", key)
+		}
+
+		// Idempotence: a normalized spec re-normalizes to itself.
+		first, err := json.Marshal(&sp)
+		if err != nil {
+			t.Fatalf("marshal normalized spec: %v", err)
+		}
+		if err := sp.Normalize(); err != nil {
+			t.Fatalf("re-normalize rejected an accepted spec: %v", err)
+		}
+		second, _ := json.Marshal(&sp)
+		if string(first) != string(second) {
+			t.Fatalf("normalize not idempotent:\n first %s\nsecond %s", first, second)
+		}
+		if sp.CacheKey() != key {
+			t.Fatal("cache key changed on re-normalize")
+		}
+
+		// Key stability across the wire: the journal stores the
+		// normalized spec and a restarted daemon re-derives the key from
+		// it — the round trip must land on the same address.
+		var sp2 Spec
+		if err := json.Unmarshal(first, &sp2); err != nil {
+			t.Fatalf("unmarshal normalized spec: %v", err)
+		}
+		if err := sp2.Normalize(); err != nil {
+			t.Fatalf("round-tripped spec rejected: %v", err)
+		}
+		if got := sp2.CacheKey(); got != key {
+			t.Fatalf("cache key unstable across round trip: %s vs %s", got, key)
+		}
+	})
+}

@@ -64,15 +64,25 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	state    State
-	err      string
-	result   json.RawMessage
-	cached   bool // born done from a cache hit
-	joins    int64
-	workers  int // budget tokens granted while running
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	state     State
+	err       string
+	result    json.RawMessage
+	cached    bool // born done from a cache hit
+	recovered bool // re-enqueued from the journal after a crash
+	joins     int64
+	workers   int // budget tokens granted while running
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+
+	// Watchdog state: lastProgress is stamped on every progress event;
+	// stalled marks a job the watchdog canceled; attempts counts
+	// watchdog-triggered re-runs; retryTimer parks the job during its
+	// backoff between cancel and requeue.
+	lastProgress time.Time
+	stalled      bool
+	attempts     int
+	retryTimer   *time.Timer
 
 	seq    int64
 	events []Event
@@ -81,35 +91,39 @@ type Job struct {
 
 // JobStatus is the wire view of a job.
 type JobStatus struct {
-	ID       string          `json:"id"`
-	State    State           `json:"state"`
-	Kind     string          `json:"kind"`
-	Priority string          `json:"priority"`
-	Key      string          `json:"key"`
-	Cached   bool            `json:"cached,omitempty"`
-	Joins    int64           `json:"joins,omitempty"`
-	Workers  int             `json:"workers,omitempty"`
-	Error    string          `json:"error,omitempty"`
-	Created  time.Time       `json:"created"`
-	Started  *time.Time      `json:"started,omitempty"`
-	Finished *time.Time      `json:"finished,omitempty"`
-	Result   json.RawMessage `json:"result,omitempty"`
+	ID        string          `json:"id"`
+	State     State           `json:"state"`
+	Kind      string          `json:"kind"`
+	Priority  string          `json:"priority"`
+	Key       string          `json:"key"`
+	Cached    bool            `json:"cached,omitempty"`
+	Recovered bool            `json:"recovered,omitempty"`
+	Attempts  int             `json:"attempts,omitempty"`
+	Joins     int64           `json:"joins,omitempty"`
+	Workers   int             `json:"workers,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Created   time.Time       `json:"created"`
+	Started   *time.Time      `json:"started,omitempty"`
+	Finished  *time.Time      `json:"finished,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
 }
 
 // status renders the wire view; withResult embeds the result payload.
 // Caller holds the server mutex.
 func (j *Job) status(withResult bool) JobStatus {
 	st := JobStatus{
-		ID:       j.ID,
-		State:    j.state,
-		Kind:     j.Spec.Kind,
-		Priority: j.Priority.String(),
-		Key:      j.Key,
-		Cached:   j.cached,
-		Joins:    j.joins,
-		Workers:  j.workers,
-		Error:    j.err,
-		Created:  j.created,
+		ID:        j.ID,
+		State:     j.state,
+		Kind:      j.Spec.Kind,
+		Priority:  j.Priority.String(),
+		Key:       j.Key,
+		Cached:    j.cached,
+		Recovered: j.recovered,
+		Attempts:  j.attempts,
+		Joins:     j.joins,
+		Workers:   j.workers,
+		Error:     j.err,
+		Created:   j.created,
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -1,0 +1,445 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"waferscale/internal/store"
+)
+
+func openStoreT(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	st.SetFsync(false)
+	return st
+}
+
+func openJournalT(t *testing.T, path string) (*store.Journal, []store.LiveJob) {
+	t.Helper()
+	j, live, err := store.OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	j.SetFsync(false)
+	t.Cleanup(func() { j.Close() })
+	return j, live
+}
+
+// TestPanicIsolation: a panicking analysis fails its own job with the
+// captured stack; the daemon stays up, healthy, and able to run the
+// next job.
+func TestPanicIsolation(t *testing.T) {
+	h := &testHarness{}
+	h.srv = New(Config{Slots: 1})
+	h.srv.runFn = func(ctx context.Context, sp *Spec, workers int, emit func(Event)) (any, error) {
+		if sp.Kind == "droop" {
+			panic("injected fault: nil deref in analysis")
+		}
+		return map[string]string{"ok": "1"}, nil
+	}
+	h.ts = httptest.NewServer(h.srv.Handler())
+	t.Cleanup(func() { h.ts.Close(); h.srv.Close() })
+
+	_, j, _ := h.post(t, `{"kind":"droop"}`)
+	got := h.waitState(t, j.ID, "failed")
+	if !strings.Contains(got.Error, "panic: injected fault") {
+		t.Fatalf("failed job error = %q, want captured panic", got.Error)
+	}
+	if !strings.Contains(got.Error, "runIsolated") && !strings.Contains(got.Error, ".go:") {
+		t.Fatalf("failed job error carries no stack: %q", got.Error)
+	}
+
+	// The daemon survived: healthz is 200 and the next job completes.
+	if code, _ := h.get(t, "/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after panic: HTTP %d", code)
+	}
+	_, j2, _ := h.post(t, `{"kind":"dse"}`)
+	h.waitState(t, j2.ID, "done")
+	st := h.stats(t)
+	if st.Panics != 1 {
+		t.Fatalf("panics=%d want 1", st.Panics)
+	}
+	if st.BudgetFree != st.BudgetTotal {
+		t.Fatalf("budget leak after panic: free=%d total=%d", st.BudgetFree, st.BudgetTotal)
+	}
+}
+
+// TestWatchdogRetriesStalledJob: a job that stops emitting progress is
+// canceled by the watchdog and retried; the retry succeeds.
+func TestWatchdogRetriesStalledJob(t *testing.T) {
+	var attempts atomic.Int64
+	h := &testHarness{}
+	h.srv = New(Config{
+		Slots:        1,
+		StallTimeout: 80 * time.Millisecond,
+		StallPoll:    10 * time.Millisecond,
+		StallRetries: 2,
+		RetryBackoff: 10 * time.Millisecond,
+	})
+	h.srv.runFn = func(ctx context.Context, sp *Spec, workers int, emit func(Event)) (any, error) {
+		if attempts.Add(1) == 1 {
+			<-ctx.Done() // first attempt hangs silently, no progress
+			return nil, ctx.Err()
+		}
+		return map[string]string{"ok": "1"}, nil
+	}
+	h.ts = httptest.NewServer(h.srv.Handler())
+	t.Cleanup(func() { h.ts.Close(); h.srv.Close() })
+
+	_, j, _ := h.post(t, `{"kind":"droop"}`)
+	got := h.waitState(t, j.ID, "done")
+	if got.State != "done" {
+		t.Fatalf("job = %+v", got)
+	}
+	if n := attempts.Load(); n != 2 {
+		t.Fatalf("attempts=%d want 2 (stall + successful retry)", n)
+	}
+	st := h.stats(t)
+	if st.Stalls != 1 || st.StallRequeues != 1 {
+		t.Fatalf("stalls=%d requeues=%d want 1/1", st.Stalls, st.StallRequeues)
+	}
+	// The wire status records the re-run.
+	_, body := h.get(t, "/v1/jobs/"+j.ID)
+	var ws struct {
+		Attempts int `json:"attempts"`
+	}
+	json.Unmarshal(body, &ws)
+	if ws.Attempts != 1 {
+		t.Fatalf("attempts on wire = %d want 1", ws.Attempts)
+	}
+}
+
+// TestWatchdogGivesUpAfterRetries: a permanently stuck job fails with
+// a stall error after the bounded retries, freeing its slot.
+func TestWatchdogGivesUpAfterRetries(t *testing.T) {
+	h := &testHarness{}
+	h.srv = New(Config{
+		Slots:        1,
+		StallTimeout: 50 * time.Millisecond,
+		StallPoll:    10 * time.Millisecond,
+		StallRetries: 1,
+		RetryBackoff: 10 * time.Millisecond,
+	})
+	h.srv.runFn = func(ctx context.Context, sp *Spec, workers int, emit func(Event)) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	h.ts = httptest.NewServer(h.srv.Handler())
+	t.Cleanup(func() { h.ts.Close(); h.srv.Close() })
+
+	_, j, _ := h.post(t, `{"kind":"droop"}`)
+	got := h.waitState(t, j.ID, "failed")
+	if !strings.Contains(got.Error, "stalled") {
+		t.Fatalf("error = %q, want stall diagnosis", got.Error)
+	}
+	// Slot is free: an ordinary job still runs (swap in a working fn).
+	h.srv.mu.Lock()
+	h.srv.runFn = func(ctx context.Context, sp *Spec, workers int, emit func(Event)) (any, error) {
+		return map[string]string{"ok": "1"}, nil
+	}
+	h.srv.mu.Unlock()
+	_, j2, _ := h.post(t, `{"kind":"dse"}`)
+	h.waitState(t, j2.ID, "done")
+}
+
+// TestWatchdogSparesProgressingJobs: steady progress events keep a
+// slow job alive well past StallTimeout.
+func TestWatchdogSparesProgressingJobs(t *testing.T) {
+	h := &testHarness{}
+	h.srv = New(Config{
+		Slots:        1,
+		StallTimeout: 60 * time.Millisecond,
+		StallPoll:    10 * time.Millisecond,
+	})
+	h.srv.runFn = func(ctx context.Context, sp *Spec, workers int, emit func(Event)) (any, error) {
+		for i := 0; i < 10; i++ { // 200ms total, > 3x the stall timeout
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(20 * time.Millisecond):
+			}
+			emit(Event{Stage: "trials", Done: int64(i + 1), Total: 10})
+		}
+		return map[string]string{"ok": "1"}, nil
+	}
+	h.ts = httptest.NewServer(h.srv.Handler())
+	t.Cleanup(func() { h.ts.Close(); h.srv.Close() })
+
+	_, j, _ := h.post(t, `{"kind":"droop"}`)
+	h.waitState(t, j.ID, "done")
+	if st := h.stats(t); st.Stalls != 0 {
+		t.Fatalf("stalls=%d want 0 for a progressing job", st.Stalls)
+	}
+}
+
+// TestDiskStoreServesAcrossRestart: a result computed by one server
+// generation is served as a cache hit by the next (fresh memory LRU,
+// same disk store), checksum-verified.
+func TestDiskStoreServesAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	ds := openStoreT(t, dir)
+
+	h := &testHarness{}
+	h.srv = New(Config{Slots: 1, Store: ds})
+	h.ts = httptest.NewServer(h.srv.Handler())
+	_, j, _ := h.post(t, `{"kind":"droop","droop":{"side":4}}`)
+	h.waitState(t, j.ID, "done")
+	h.ts.Close()
+	h.srv.Close()
+
+	// "Restart": a brand-new server over a re-opened store.
+	ds2 := openStoreT(t, dir)
+	h2 := &testHarness{}
+	h2.srv = New(Config{Slots: 1, Store: ds2})
+	h2.ts = httptest.NewServer(h2.srv.Handler())
+	t.Cleanup(func() { h2.ts.Close(); h2.srv.Close() })
+
+	code, j2, _ := h2.post(t, `{"kind":"droop","droop":{"side":4}}`)
+	if code != http.StatusOK || !j2.Cached || j2.State != "done" {
+		t.Fatalf("restarted server did not serve from disk: HTTP %d %+v", code, j2)
+	}
+	st := h2.stats(t)
+	if st.Executed != 0 {
+		t.Fatalf("executed=%d want 0 (disk hit must not recompute)", st.Executed)
+	}
+	if st.Store == nil || st.Store.Hits != 1 {
+		t.Fatalf("store stats %+v, want 1 hit", st.Store)
+	}
+	// Result payload is intact end to end.
+	var res DroopResult
+	if err := json.Unmarshal(j2.Result, &res); err != nil || res.MinVolt <= 0 {
+		_, body := h2.get(t, "/v1/jobs/"+j2.ID+"/result")
+		if err := json.Unmarshal(body, &res); err != nil || res.MinVolt <= 0 {
+			t.Fatalf("disk-served result implausible: %s", body)
+		}
+	}
+}
+
+// TestJournalRecoveryReruns is the unit-level kill -9: a journal left
+// by a "crashed" process (authored directly) is replayed, the
+// interrupted job re-runs to completion, and a second restart finds
+// nothing live.
+func TestJournalRecoveryReruns(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal.jsonl")
+
+	// Generation 1 "crashes" with one accepted+started job on the log.
+	spec := Spec{Kind: "droop", Droop: &DroopSpec{Side: 4}}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	specJSON, _ := json.Marshal(&spec)
+	key := spec.CacheKey()
+	g1, live := openJournalT(t, jpath)
+	if len(live) != 0 {
+		t.Fatalf("fresh journal live=%d", len(live))
+	}
+	g1.Append(store.Record{Op: store.OpAccepted, ID: "j1", Key: key, Priority: "high", Spec: specJSON})
+	g1.Append(store.Record{Op: store.OpStarted, ID: "j1", Key: key})
+	g1.Close()
+
+	// Generation 2 recovers.
+	ds := openStoreT(t, filepath.Join(dir, "store"))
+	g2, live := openJournalT(t, jpath)
+	if len(live) != 1 {
+		t.Fatalf("live=%d want 1", len(live))
+	}
+	var ran atomic.Int64
+	h := &testHarness{}
+	h.srv = New(Config{Slots: 1, Store: ds, Journal: g2})
+	h.srv.runFn = func(ctx context.Context, sp *Spec, workers int, emit func(Event)) (any, error) {
+		ran.Add(1)
+		return map[string]string{"kind": sp.Kind}, nil
+	}
+	h.ts = httptest.NewServer(h.srv.Handler())
+	t.Cleanup(func() { h.ts.Close(); h.srv.Close() })
+
+	// Not ready before recovery, ready after.
+	if code, _ := h.get(t, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before Recover: HTTP %d want 503", code)
+	}
+	rs := h.srv.Recover(live)
+	if rs.Requeued != 1 || rs.Dropped != 0 || rs.FromStore != 0 {
+		t.Fatalf("recovery stats %+v", rs)
+	}
+	if code, _ := h.get(t, "/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after Recover: HTTP %d want 200", code)
+	}
+
+	// The recovered job re-runs to completion under a fresh ID, keeping
+	// its priority, and is marked recovered on the wire.
+	deadline := time.Now().Add(10 * time.Second)
+	for ran.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ran.Load() != 1 {
+		t.Fatal("recovered job never ran")
+	}
+	_, body := h.get(t, "/v1/jobs?state=done")
+	var out struct {
+		Jobs []struct {
+			Recovered bool   `json:"recovered"`
+			Priority  string `json:"priority"`
+			Key       string `json:"key"`
+			State     string `json:"state"`
+		} `json:"jobs"`
+	}
+	for i := 0; i < 200; i++ {
+		_, body = h.get(t, "/v1/jobs?state=done")
+		json.Unmarshal(body, &out)
+		if len(out.Jobs) == 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(out.Jobs) != 1 || !out.Jobs[0].Recovered || out.Jobs[0].Priority != "high" || out.Jobs[0].Key != key {
+		t.Fatalf("recovered job on wire: %s", body)
+	}
+
+	// Generation 3: the completed run journaled a terminal record, so
+	// nothing is live anymore.
+	h.srv.Close()
+	g2.Close()
+	_, live = openJournalT(t, jpath)
+	if len(live) != 0 {
+		t.Fatalf("third generation still sees %d live jobs", len(live))
+	}
+}
+
+// TestRecoverySkipsStoredResults: if the crash landed after the store
+// write but before the journal's terminal record, recovery recognizes
+// the durable result and closes the job out without recomputing.
+func TestRecoverySkipsStoredResults(t *testing.T) {
+	dir := t.TempDir()
+	ds := openStoreT(t, filepath.Join(dir, "store"))
+	spec := Spec{Kind: "dse"}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	specJSON, _ := json.Marshal(&spec)
+	key := spec.CacheKey()
+	if err := ds.Put(key, []byte(`{"arrayPoints":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+	jr, _ := openJournalT(t, filepath.Join(dir, "journal.jsonl"))
+
+	var ran atomic.Int64
+	srv := New(Config{Slots: 1, Store: ds, Journal: jr})
+	srv.runFn = func(ctx context.Context, sp *Spec, workers int, emit func(Event)) (any, error) {
+		ran.Add(1)
+		return nil, fmt.Errorf("must not run")
+	}
+	t.Cleanup(srv.Close)
+
+	rs := srv.Recover([]store.LiveJob{{ID: "j9", Key: key, Spec: specJSON, WasRunning: true}})
+	if rs.FromStore != 1 || rs.Requeued != 0 {
+		t.Fatalf("recovery stats %+v, want fromStore=1", rs)
+	}
+	if ran.Load() != 0 {
+		t.Fatal("stored result was recomputed")
+	}
+	// And the result is now a memory cache hit.
+	if _, ok := srv.cache.Get(key); !ok {
+		t.Fatal("stored result not promoted to memory cache")
+	}
+}
+
+// TestRecoveryDropsUnreadableSpec: version skew (a spec that no longer
+// normalizes) is dropped with a journaled failure, not a crash loop.
+func TestRecoveryDropsUnreadableSpec(t *testing.T) {
+	jr, _ := openJournalT(t, filepath.Join(t.TempDir(), "journal.jsonl"))
+	srv := New(Config{Slots: 1, Journal: jr})
+	t.Cleanup(srv.Close)
+	rs := srv.Recover([]store.LiveJob{
+		{ID: "ja", Key: "k1", Spec: json.RawMessage(`{"kind":"no-such-kind"}`)},
+		{ID: "jb", Key: "k2", Spec: json.RawMessage(`not json`)},
+	})
+	if rs.Dropped != 2 || rs.Requeued != 0 {
+		t.Fatalf("recovery stats %+v, want 2 dropped", rs)
+	}
+}
+
+// TestRetryAfterScalesWithLoad: the 429 Retry-After grows with backlog
+// and observed job duration instead of a fixed constant.
+func TestRetryAfterScalesWithLoad(t *testing.T) {
+	h := newHarness(t, Config{Slots: 1, QueueDepth: 1}, true)
+	h.post(t, `{"kind":"dse"}`)
+	h.waitStarted(t) // slot busy
+	h.post(t, `{"kind":"droop"}`)
+
+	// No history yet: 2s/job default, 1 running + 1 queued on 1 slot.
+	code, _, hdr := h.post(t, `{"kind":"nocmc"}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("HTTP %d want 429", code)
+	}
+	base := hdr.Get("Retry-After")
+	if base != "4" {
+		t.Fatalf("Retry-After=%q want 4 (2 jobs x 2s default / 1 slot)", base)
+	}
+
+	// Teach the estimator jobs take ~30s: the hint must grow.
+	h.srv.mu.Lock()
+	for i := 0; i < 8; i++ {
+		h.srv.recordDurationLocked(30 * time.Second)
+	}
+	h.srv.mu.Unlock()
+	_, _, hdr = h.post(t, `{"kind":"report"}`)
+	if got := hdr.Get("Retry-After"); got != "60" {
+		t.Fatalf("Retry-After=%q want 60 (2 jobs x 30s / 1 slot)", got)
+	}
+	close(h.release)
+}
+
+// TestCancelDuringBackoff: a client cancel while a stalled job waits
+// out its retry backoff wins — the job never resurrects.
+func TestCancelDuringBackoff(t *testing.T) {
+	h := &testHarness{}
+	h.srv = New(Config{
+		Slots:        1,
+		StallTimeout: 40 * time.Millisecond,
+		StallPoll:    10 * time.Millisecond,
+		StallRetries: 3,
+		RetryBackoff: 2 * time.Second, // long enough to land the cancel inside it
+	})
+	var runs atomic.Int64
+	h.srv.runFn = func(ctx context.Context, sp *Spec, workers int, emit func(Event)) (any, error) {
+		runs.Add(1)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	h.ts = httptest.NewServer(h.srv.Handler())
+	t.Cleanup(func() { h.ts.Close(); h.srv.Close() })
+
+	_, j, _ := h.post(t, `{"kind":"droop"}`)
+	// Wait until the job is parked in backoff (queued with attempts=1).
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		_, body := h.get(t, "/v1/jobs/"+j.ID)
+		var ws struct {
+			State    string `json:"state"`
+			Attempts int    `json:"attempts"`
+		}
+		json.Unmarshal(body, &ws)
+		if ws.State == "queued" && ws.Attempts == 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	h.del(t, "/v1/jobs/"+j.ID)
+	h.waitState(t, j.ID, "canceled")
+	time.Sleep(50 * time.Millisecond)
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("runs=%d want 1 (canceled job must not retry)", n)
+	}
+}

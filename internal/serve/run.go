@@ -249,7 +249,11 @@ func runReport(ctx context.Context, sp *ReportSpec, workers int, emit func(Event
 	}
 	d := core.NewDesign()
 	d.Workers = workers
-	fm := fault.Random(d.Cfg.Grid(), sp.Faults, rand.New(rand.NewSource(sp.Seed)))
+	faults := sp.Faults
+	if faults < 0 { // normalized -1 means "no faults"
+		faults = 0
+	}
+	fm := fault.Random(d.Cfg.Grid(), faults, rand.New(rand.NewSource(sp.Seed)))
 	var buf bytes.Buffer
 	if err := d.WriteFullReport(&buf, fm, sp.Trials, sp.Seed); err != nil {
 		return nil, err

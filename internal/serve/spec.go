@@ -65,15 +65,15 @@ type NoCMCSpec struct {
 // ChaosSpec parametrizes a runtime-fault survival sweep; zero fields
 // take the defaults of core.DefaultChaosConfig.
 type ChaosSpec struct {
-	Side      int    `json:"side"`
-	Workers   int    `json:"workers"` // simulated BFS worker cores
-	Trials    int    `json:"trials"`
-	Seed      int64  `json:"seed"`
-	Kills     []int  `json:"kills"`
-	KillFrom  int64  `json:"killFrom"`
-	KillTo    int64  `json:"killTo"`
-	MaxCycles int64  `json:"maxCycles"`
-	GraphSide int    `json:"graphSide"`
+	Side      int   `json:"side"`
+	Workers   int   `json:"workers"` // simulated BFS worker cores
+	Trials    int   `json:"trials"`
+	Seed      int64 `json:"seed"`
+	Kills     []int `json:"kills"`
+	KillFrom  int64 `json:"killFrom"`
+	KillTo    int64 `json:"killTo"`
+	MaxCycles int64 `json:"maxCycles"`
+	GraphSide int   `json:"graphSide"`
 }
 
 // ThroughputSpec parametrizes a NoC latency-throughput sweep.
@@ -287,17 +287,18 @@ func (s *Spec) Normalize() error {
 		if report.Faults == 0 {
 			report.Faults = 5
 		}
-		if report.Faults == -1 {
-			report.Faults = 0
-		}
+		// -1 ("no faults") stays -1: it is the canonical form, so that
+		// normalization is idempotent — mapping it to 0 would alias the
+		// "default to 5" sentinel on the next pass and change the spec
+		// (and its cache key) across a journal round trip.
 		if report.Trials == 0 {
 			report.Trials = 8
 		}
 		if report.Seed == 0 {
 			report.Seed = 2021
 		}
-		if report.Faults < 0 || report.Faults > 1024 {
-			return fmt.Errorf("serve: report faults %d outside 0..1024", report.Faults)
+		if report.Faults < -1 || report.Faults > 1024 {
+			return fmt.Errorf("serve: report faults %d outside -1..1024", report.Faults)
 		}
 		if report.Trials < 1 || report.Trials > maxTrials {
 			return fmt.Errorf("serve: report trials %d outside 1..%d", report.Trials, maxTrials)

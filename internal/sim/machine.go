@@ -1250,10 +1250,34 @@ func (m *Machine) retryRemote(c *Core) {
 	c.rem.net = dec.Request
 	c.rem.dst = first
 	c.rem.injected = false
-	c.rem.deadline = m.cycle + m.RemoteTimeout<<uint(c.rem.attempts)
+	// Exponential backoff plus deterministic jitter in [0, base/2):
+	// cores that lost traffic to the same dead router would otherwise
+	// all re-expire on the same cycle and re-collide forever. The
+	// jitter is hashed from the op's identity, not drawn from a shared
+	// RNG, so runs stay bit-identical at any shard or worker count.
+	base := m.RemoteTimeout << uint(c.rem.attempts)
+	c.rem.deadline = m.cycle + base + backoffJitter(c.rem.tag, m.cycle, c.tile, c.idx, base/2)
 	if _, err := m.net.Inject(dec.Request, c.tile, first, noc.Request, c.rem.tag, c.rem.payload); err == nil {
 		c.rem.injected = true
 	}
+}
+
+// backoffJitter maps a retried op's identity — reissue tag, current
+// cycle, and the retrying core's tile and lane — to a jitter in
+// [0, span) via a splitmix64 finalizer. Pure and seed-free: the same
+// machine replayed (serially or sharded) retries on exactly the same
+// cycles, preserving the engine's determinism contract, while distinct
+// cores (or the same core on later attempts) spread apart.
+func backoffJitter(tag uint32, cycle int64, tile geom.Coord, lane int, span int64) int64 {
+	if span <= 0 {
+		return 0
+	}
+	z := uint64(tag) ^ uint64(cycle)<<20 ^ uint64(uint32(tile.X))<<40 ^ uint64(uint32(tile.Y))<<52 ^ uint64(uint32(lane))<<8
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z % uint64(span))
 }
 
 func b2u(b bool) uint32 {

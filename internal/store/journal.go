@@ -1,0 +1,256 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Journal record ops. A job's durable lifecycle is accepted ->
+// started -> (done | failed | canceled); replay is keyed by the job's
+// content-addressed spec key, so re-accepting an interrupted job under
+// a fresh ID after a crash composes naturally — the latest record for
+// a key wins.
+const (
+	OpAccepted = "accepted"
+	OpStarted  = "started"
+	OpDone     = "done"
+	OpFailed   = "failed"
+	OpCanceled = "canceled"
+)
+
+// Record is one journal line.
+type Record struct {
+	Op       string          `json:"op"`
+	ID       string          `json:"id"`
+	Key      string          `json:"key"`
+	Priority string          `json:"priority,omitempty"`
+	Spec     json.RawMessage `json:"spec,omitempty"` // accepted records carry the normalized spec
+	Error    string          `json:"error,omitempty"`
+	UnixMS   int64           `json:"unixMs"`
+}
+
+// terminalOp reports whether op ends a job's durable lifecycle.
+func terminalOp(op string) bool {
+	return op == OpDone || op == OpFailed || op == OpCanceled
+}
+
+// LiveJob is a journaled job whose latest record is non-terminal: the
+// process died while it was queued or running, and a restarted daemon
+// must re-enqueue it.
+type LiveJob struct {
+	ID         string
+	Key        string
+	Priority   string
+	Spec       json.RawMessage
+	WasRunning bool // latest record was started, not just accepted
+}
+
+// ReplayStats describes what OpenJournal found on disk.
+type ReplayStats struct {
+	Records     int64 `json:"records"`     // well-formed records replayed
+	TornRecords int64 `json:"tornRecords"` // unparsable lines skipped (torn tail from a crash)
+	Live        int   `json:"live"`        // jobs whose latest record is non-terminal
+	Compacted   bool  `json:"compacted"`   // journal was rewritten to live records only
+}
+
+// Journal is the write-ahead job log: every accepted job is recorded
+// (with its normalized spec) before the client hears 202, and every
+// start and terminal transition is appended after it. Appends are
+// fsynced by default, so a kill -9 loses at most the record being
+// written — and replay tolerates exactly that torn tail. Safe for
+// concurrent use.
+type Journal struct {
+	path  string
+	mu    sync.Mutex
+	f     *os.File
+	fsync bool
+
+	appends int64
+	replay  ReplayStats
+}
+
+// OpenJournal opens (creating if absent) the journal at path, replays
+// it, and compacts it: the file is atomically rewritten to hold only
+// the accepted records of still-live jobs, so the journal's size is
+// bounded by the live backlog, not by daemon uptime. Unparsable lines
+// — the torn tail of a crashed append, or bit rot — are counted and
+// skipped, never fatal. It returns the live jobs in original
+// acceptance order.
+func OpenJournal(path string) (*Journal, []LiveJob, error) {
+	j := &Journal{path: path, fsync: true}
+	live, err := j.replayAndCompact()
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	j.f = f
+	return j, live, nil
+}
+
+// replayAndCompact reads the journal, resolves each key's latest
+// state, and rewrites the file (temp + rename) with only the live
+// accepted records. A crash during compaction leaves the old file
+// intact — the rename is the commit point.
+func (j *Journal) replayAndCompact() ([]LiveJob, error) {
+	data, err := os.ReadFile(j.path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	type keyState struct {
+		job      LiveJob
+		terminal bool
+		order    int
+	}
+	states := make(map[string]*keyState)
+	orderSeq := 0
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var r Record
+		if uerr := json.Unmarshal(line, &r); uerr != nil || r.Op == "" || r.Key == "" {
+			j.replay.TornRecords++
+			continue
+		}
+		j.replay.Records++
+		st := states[r.Key]
+		if st == nil {
+			orderSeq++
+			st = &keyState{order: orderSeq}
+			states[r.Key] = st
+		}
+		switch {
+		case r.Op == OpAccepted:
+			// A fresh acceptance revives the key (re-submission after a
+			// completed run, or a restarted daemon re-accepting).
+			st.job = LiveJob{ID: r.ID, Key: r.Key, Priority: r.Priority, Spec: r.Spec}
+			st.terminal = false
+		case r.Op == OpStarted:
+			st.job.WasRunning = true
+		case terminalOp(r.Op):
+			st.terminal = true
+		default:
+			j.replay.TornRecords++
+		}
+	}
+	var live []LiveJob
+	for _, st := range states {
+		if !st.terminal && st.job.Key != "" && len(st.job.Spec) > 0 {
+			live = append(live, st.job)
+		}
+	}
+	// Original acceptance order keeps recovery deterministic.
+	for i := 1; i < len(live); i++ {
+		for k := i; k > 0 && states[live[k].Key].order < states[live[k-1].Key].order; k-- {
+			live[k], live[k-1] = live[k-1], live[k]
+		}
+	}
+	j.replay.Live = len(live)
+
+	// Compact: live accepted records only.
+	tmp := j.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, lj := range live {
+		enc.Encode(Record{Op: OpAccepted, ID: lj.ID, Key: lj.Key, Priority: lj.Priority, Spec: lj.Spec, UnixMS: time.Now().UnixMilli()})
+	}
+	err = w.Flush()
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		os.Remove(tmp)
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if dir, derr := os.Open(filepath.Dir(j.path)); derr == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	j.replay.Compacted = true
+	return live, nil
+}
+
+// Append durably writes one record. The daemon calls it before
+// answering 202 for an acceptance, so a client that heard "accepted"
+// is guaranteed a restart will remember the job.
+func (j *Journal) Append(r Record) error {
+	if r.UnixMS == 0 {
+		r.UnixMS = time.Now().UnixMilli()
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if j.fsync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	j.appends++
+	return nil
+}
+
+// ReplayStats reports what the opening replay found.
+func (j *Journal) ReplayStats() ReplayStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.replay
+}
+
+// Appends returns the number of records appended since open.
+func (j *Journal) Appends() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appends
+}
+
+// SetFsync toggles per-append fsync (tests disable it for speed).
+func (j *Journal) SetFsync(on bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.fsync = on
+}
+
+// Close closes the journal file. Further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

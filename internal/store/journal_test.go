@@ -1,0 +1,159 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openJournalTest(t *testing.T, path string) (*Journal, []LiveJob) {
+	t.Helper()
+	j, live, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	j.SetFsync(false)
+	t.Cleanup(func() { j.Close() })
+	return j, live
+}
+
+func TestJournalLifecycleReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, live := openJournalTest(t, path)
+	if len(live) != 0 {
+		t.Fatalf("fresh journal has %d live jobs", len(live))
+	}
+	spec := json.RawMessage(`{"kind":"droop","droop":{"side":8,"edgeVolts":2.5}}`)
+
+	// done job: not live after replay.
+	j.Append(Record{Op: OpAccepted, ID: "j1", Key: key(1), Priority: "normal", Spec: spec})
+	j.Append(Record{Op: OpStarted, ID: "j1", Key: key(1)})
+	j.Append(Record{Op: OpDone, ID: "j1", Key: key(1)})
+	// interrupted running job: live, WasRunning.
+	j.Append(Record{Op: OpAccepted, ID: "j2", Key: key(2), Priority: "high", Spec: spec})
+	j.Append(Record{Op: OpStarted, ID: "j2", Key: key(2)})
+	// interrupted queued job: live.
+	j.Append(Record{Op: OpAccepted, ID: "j3", Key: key(3), Priority: "low", Spec: spec})
+	// client-canceled job: not live (cancellation is intentional).
+	j.Append(Record{Op: OpAccepted, ID: "j4", Key: key(4), Spec: spec})
+	j.Append(Record{Op: OpCanceled, ID: "j4", Key: key(4)})
+	j.Close()
+
+	_, live = openJournalTest(t, path)
+	if len(live) != 2 {
+		t.Fatalf("live = %d jobs, want 2 (interrupted running + queued)", len(live))
+	}
+	if live[0].Key != key(2) || !live[0].WasRunning || live[0].Priority != "high" {
+		t.Fatalf("live[0] = %+v, want interrupted running j2", live[0])
+	}
+	if live[1].Key != key(3) || live[1].WasRunning || live[1].Priority != "low" {
+		t.Fatalf("live[1] = %+v, want interrupted queued j3", live[1])
+	}
+	if string(live[0].Spec) != string(spec) {
+		t.Fatalf("spec not preserved: %s", live[0].Spec)
+	}
+}
+
+// TestJournalTornTailTolerated: a kill -9 mid-append leaves a partial
+// last line; replay skips it, counts it, and keeps everything before
+// it.
+func TestJournalTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _ := openJournalTest(t, path)
+	spec := json.RawMessage(`{"kind":"dse","dse":{"sides":[8]}}`)
+	j.Append(Record{Op: OpAccepted, ID: "j1", Key: key(1), Spec: spec})
+	j.Close()
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"started","id":"j1","key":"` + key(1)[:10]) // torn mid-record
+	f.Close()
+
+	j2, live := openJournalTest(t, path)
+	if len(live) != 1 || live[0].Key != key(1) {
+		t.Fatalf("live = %+v, want the accepted job to survive the torn tail", live)
+	}
+	st := j2.ReplayStats()
+	if st.TornRecords != 1 || st.Records != 1 {
+		t.Fatalf("replay stats %+v, want 1 torn + 1 good", st)
+	}
+}
+
+// TestJournalCompaction: reopening rewrites the file to live accepted
+// records only, so the journal's size tracks the backlog, not uptime.
+func TestJournalCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _ := openJournalTest(t, path)
+	spec := json.RawMessage(`{"kind":"droop"}`)
+	for i := 0; i < 50; i++ {
+		j.Append(Record{Op: OpAccepted, ID: "jd", Key: key(i), Spec: spec})
+		j.Append(Record{Op: OpStarted, ID: "jd", Key: key(i)})
+		j.Append(Record{Op: OpDone, ID: "jd", Key: key(i)})
+	}
+	j.Append(Record{Op: OpAccepted, ID: "jlive", Key: key(100), Spec: spec})
+	j.Close()
+	big, _ := os.Stat(path)
+
+	j2, live := openJournalTest(t, path)
+	if len(live) != 1 || live[0].Key != key(100) {
+		t.Fatalf("live = %+v", live)
+	}
+	if !j2.ReplayStats().Compacted {
+		t.Fatal("journal not compacted")
+	}
+	j2.Close()
+	small, _ := os.Stat(path)
+	if small.Size() >= big.Size() {
+		t.Fatalf("compaction did not shrink journal: %d -> %d bytes", big.Size(), small.Size())
+	}
+
+	// The compacted journal still replays the live job.
+	_, live = openJournalTest(t, path)
+	if len(live) != 1 || live[0].Key != key(100) {
+		t.Fatalf("post-compaction live = %+v", live)
+	}
+}
+
+// TestJournalReacceptSameKey: a restarted daemon re-accepts an
+// interrupted job under a fresh ID; once that run reaches a terminal
+// record the key stops being live — no resurrection loops.
+func TestJournalReacceptSameKey(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _ := openJournalTest(t, path)
+	spec := json.RawMessage(`{"kind":"droop"}`)
+	j.Append(Record{Op: OpAccepted, ID: "j1", Key: key(1), Spec: spec})
+	j.Append(Record{Op: OpStarted, ID: "j1", Key: key(1)})
+	j.Close()
+
+	j2, live := openJournalTest(t, path)
+	if len(live) != 1 {
+		t.Fatalf("live = %+v", live)
+	}
+	// Recovery re-accepts under a new ID, then the job completes.
+	j2.Append(Record{Op: OpAccepted, ID: "j2", Key: key(1), Spec: spec})
+	j2.Append(Record{Op: OpStarted, ID: "j2", Key: key(1)})
+	j2.Append(Record{Op: OpDone, ID: "j2", Key: key(1)})
+	j2.Close()
+
+	_, live = openJournalTest(t, path)
+	if len(live) != 0 {
+		t.Fatalf("completed key still live after restart: %+v", live)
+	}
+}
+
+func TestJournalGarbageLinesSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	if err := os.WriteFile(path, []byte("\x00\xff garbage\n{\"op\":\"accepted\",\"id\":\"j1\",\"key\":\""+key(1)+"\",\"spec\":{\"kind\":\"droop\"},\"unixMs\":1}\nnot json either\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, live := openJournalTest(t, path)
+	if len(live) != 1 || live[0].Key != key(1) {
+		t.Fatalf("live = %+v", live)
+	}
+	if st := j.ReplayStats(); st.TornRecords != 2 {
+		t.Fatalf("replay stats %+v, want 2 torn records", st)
+	}
+}

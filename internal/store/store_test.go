@@ -1,0 +1,245 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// key returns a deterministic valid store key for test payload i.
+func key(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func openTest(t *testing.T, dir string, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(dir, maxBytes)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	s.SetFsync(false)
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, 0)
+	payload := []byte(`{"minVolt":1.87}`)
+	if err := s.Put(key(1), payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := s.Get(key(1))
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want payload back", got, ok)
+	}
+	if _, ok := s.Get(key(2)); ok {
+		t.Fatal("Get of absent key returned a value")
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// A reopened store serves the same entry (the kill -9 contract).
+	s2 := openTest(t, dir, 0)
+	got, ok = s2.Get(key(1))
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("reopened Get = %q, %v", got, ok)
+	}
+}
+
+func TestStoreRejectsInvalidKey(t *testing.T) {
+	s := openTest(t, t.TempDir(), 0)
+	for _, k := range []string{"", "short", "../../etc/passwd", key(1) + "x", "Z" + key(1)[1:]} {
+		if err := s.Put(k, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted an invalid key", k)
+		}
+	}
+}
+
+// TestStoreTruncatedEntryQuarantined: an entry cut short (torn write
+// that somehow landed under the entry name, or filesystem damage) is
+// quarantined at startup with a counter — never a crash.
+func TestStoreTruncatedEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, 0)
+	if err := s.Put(key(1), []byte("a perfectly fine result payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "entries", key(1))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, 0)
+	if _, ok := s2.Get(key(1)); ok {
+		t.Fatal("truncated entry served")
+	}
+	st := s2.Stats()
+	if st.Quarantined != 1 || st.Entries != 0 {
+		t.Fatalf("stats %+v, want 1 quarantined, 0 entries", st)
+	}
+	moved, _ := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if len(moved) != 1 {
+		t.Fatalf("quarantine dir has %d files, want 1", len(moved))
+	}
+}
+
+// TestStoreFlippedByteQuarantined: a single flipped payload bit is
+// caught by the checksum — at startup and on a live read.
+func TestStoreFlippedByteQuarantined(t *testing.T) {
+	for _, when := range []string{"startup", "liveRead"} {
+		t.Run(when, func(t *testing.T) {
+			dir := t.TempDir()
+			s := openTest(t, dir, 0)
+			if err := s.Put(key(1), []byte("the true computed answer")); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, "entries", key(1))
+			if when == "liveRead" {
+				// Corrupt underneath the running store.
+				corruptLastByte(t, path)
+				if _, ok := s.Get(key(1)); ok {
+					t.Fatal("corrupt entry served from live store")
+				}
+				st := s.Stats()
+				if st.VerifyFailures != 1 || st.Quarantined != 1 {
+					t.Fatalf("stats %+v, want 1 verify failure + quarantine", st)
+				}
+				// The miss heals: a fresh Put works again.
+				if err := s.Put(key(1), []byte("recomputed")); err != nil {
+					t.Fatal(err)
+				}
+				if got, ok := s.Get(key(1)); !ok || string(got) != "recomputed" {
+					t.Fatalf("healed Get = %q, %v", got, ok)
+				}
+				return
+			}
+			corruptLastByte(t, path)
+			s2 := openTest(t, dir, 0)
+			if _, ok := s2.Get(key(1)); ok {
+				t.Fatal("corrupt entry served after restart")
+			}
+			if st := s2.Stats(); st.Quarantined != 1 {
+				t.Fatalf("stats %+v, want 1 quarantined", st)
+			}
+		})
+	}
+}
+
+func corruptLastByte(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreTornTempRemoved: a temp file left by a killed process is
+// deleted at startup, counted, and never indexed.
+func TestStoreTornTempRemoved(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, 0)
+	if err := s.Put(key(1), []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "entries", tmpPrefix+"12345-7")
+	if err := os.WriteFile(torn, []byte("half a wri"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, 0)
+	st := s2.Stats()
+	if st.TornTemps != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 1 torn temp removed and the good entry kept", st)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatal("torn temp still on disk")
+	}
+}
+
+// TestStoreForeignFileQuarantined: a file that is not a valid key is
+// moved aside, not trusted and not deleted.
+func TestStoreForeignFileQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "entries"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "entries", "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openTest(t, dir, 0)
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats %+v, want foreign file quarantined", st)
+	}
+}
+
+func TestStoreByteBoundEvictsOldest(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, 64)
+	payload := bytes.Repeat([]byte("x"), 30)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(key(i), payload); err != nil {
+			t.Fatal(err)
+		}
+		// mtime granularity: make ordering unambiguous.
+		now := time.Now().Add(time.Duration(i) * time.Second)
+		os.Chtimes(filepath.Join(dir, "entries", key(i)), now, now)
+		s.mu.Lock()
+		info := s.idx[key(i)]
+		info.mtime = now
+		s.idx[key(i)] = info
+		s.mu.Unlock()
+	}
+	st := s.Stats()
+	if st.Entries != 2 || st.Evictions != 1 || st.Bytes > 64 {
+		t.Fatalf("stats %+v, want oldest evicted under 64-byte bound", st)
+	}
+	if _, ok := s.Get(key(0)); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if _, ok := s.Get(key(2)); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := openTest(t, t.TempDir(), 0)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 20; i++ {
+				k := key(g*20 + i)
+				if err := s.Put(k, []byte(k)); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if got, ok := s.Get(k); !ok || string(got) != k {
+					t.Errorf("Get(%s) = %q, %v", k, got, ok)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if s.Len() != 160 {
+		t.Fatalf("Len = %d, want 160", s.Len())
+	}
+}

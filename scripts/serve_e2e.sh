@@ -10,32 +10,53 @@
 #     without recomputation (executed stays 1, cache hits becomes 1)
 #   * a canceled queued job reports state=canceled
 #   * SIGTERM drains with exit code 0
+#   * kill -9 mid-job, restart on the same -data-dir: the interrupted
+#     job is re-enqueued and completes, prior results are served from
+#     the disk store without recomputation
+#   * a corrupted store entry and a torn temp file are quarantined at
+#     startup (counted, not fatal) and the corrupted result recomputes
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BIN="$(mktemp -d)/waferscaled"
 LOG="$(mktemp)"
-trap 'kill "$DPID" 2>/dev/null || true; rm -rf "$(dirname "$BIN")" "$LOG"' EXIT
+DATA="$(mktemp -d)"
+trap 'kill "$DPID" 2>/dev/null || true; rm -rf "$(dirname "$BIN")" "$LOG" "$DATA"' EXIT
 
 go build -o "$BIN" ./cmd/waferscaled
 
 "$BIN" -addr 127.0.0.1:0 -slots 1 >"$LOG" 2>&1 &
 DPID=$!
 
-# Wait for the parseable listen line.
-ADDR=""
-for _ in $(seq 1 100); do
-  ADDR=$(sed -n 's/^waferscaled listening on \(.*\)$/\1/p' "$LOG")
-  [ -n "$ADDR" ] && break
-  sleep 0.1
-done
-[ -n "$ADDR" ] || { echo "FAIL: daemon never listened"; cat "$LOG"; exit 1; }
-BASE="http://$ADDR"
+# wait_listen <log>: block until the daemon prints its listen line,
+# then set BASE.
+wait_listen() {
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^waferscaled listening on \(.*\)$/\1/p' "$1" | tail -1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+  done
+  [ -n "$ADDR" ] || { echo "FAIL: daemon never listened"; cat "$1"; exit 1; }
+  BASE="http://$ADDR"
+}
+wait_listen "$LOG"
 echo "daemon at $BASE"
 
 post() { curl -sf -X POST -d "$1" "$BASE/v1/jobs"; }
 field() { # field <json> <key>  -> scalar value of a top-level "key":value
   echo "$1" | tr -d ' \n' | sed -n "s/.*\"$2\":\"\{0,1\}\([^\",}]*\)\"\{0,1\}.*/\1/p"
+}
+# wait_done <id> <tries>: poll a job to done (fails the run on failed).
+wait_done() {
+  local st=""
+  for _ in $(seq 1 "$2"); do
+    st=$(field "$(curl -sf "$BASE/v1/jobs/$1")" state)
+    [ "$st" = done ] && return 0
+    [ "$st" = failed ] && { echo "FAIL: job $1 failed"; curl -s "$BASE/v1/jobs/$1"; exit 1; }
+    sleep 0.1
+  done
+  echo "FAIL: job $1 stuck in $st"; exit 1
 }
 
 SPEC='{"kind":"droop","droop":{"side":8}}'
@@ -90,4 +111,83 @@ if [ "$EXIT" != 0 ]; then
 fi
 grep -q "drained clean" "$LOG" || { echo "FAIL: no clean-drain line"; cat "$LOG"; exit 1; }
 echo "ok: SIGTERM drained clean (exit 0)"
+
+# 5. Crash recovery: a durable daemon is SIGKILLed mid-job; the restart
+# re-enqueues the interrupted job from the journal, completes it, and
+# serves the pre-crash result from the disk store.
+DROOP='{"kind":"droop","droop":{"side":6}}'
+CHAOS='{"kind":"chaos","chaos":{"side":8,"trials":2,"maxCycles":30000}}'
+: >"$LOG"
+"$BIN" -addr 127.0.0.1:0 -slots 1 -data-dir "$DATA" >"$LOG" 2>&1 &
+DPID=$!
+wait_listen "$LOG"
+
+RD=$(post "$DROOP")
+wait_done "$(field "$RD" id)" 300
+RC=$(post "$CHAOS")
+JC=$(field "$RC" id)
+for _ in $(seq 1 100); do # SIGKILL only once the job is provably mid-flight
+  [ "$(field "$(curl -sf "$BASE/v1/jobs/$JC")" state)" = running ] && break
+  sleep 0.1
+done
+kill -9 "$DPID"
+wait "$DPID" 2>/dev/null || true
+echo "ok: SIGKILLed daemon mid-job"
+
+: >"$LOG"
+"$BIN" -addr 127.0.0.1:0 -slots 1 -data-dir "$DATA" >"$LOG" 2>&1 &
+DPID=$!
+wait_listen "$LOG"
+grep -q "re-enqueued 1 interrupted job(s)" "$LOG" \
+  || { echo "FAIL: restart did not re-enqueue the interrupted job"; cat "$LOG"; exit 1; }
+READY=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz")
+[ "$READY" = 200 ] || { echo "FAIL: readyz=$READY after recovery"; exit 1; }
+
+# The pre-crash droop result survives on disk: no recomputation.
+RD2=$(post "$DROOP")
+[ "$(field "$RD2" cached)" = true ] || { echo "FAIL: droop not served from disk store: $RD2"; exit 1; }
+
+# The interrupted chaos job finishes; resubmitting is then a pure
+# cache answer (first resubmit may dedup-join the recovered run).
+RC2=$(post "$CHAOS")
+if [ "$(field "$RC2" cached)" != true ]; then
+  wait_done "$(field "$RC2" id)" 600
+  RC3=$(post "$CHAOS")
+  [ "$(field "$RC3" cached)" = true ] || { echo "FAIL: recovered chaos result not cached: $RC3"; exit 1; }
+fi
+EXECUTED=$(curl -sf "$BASE/v1/stats" | tr -d ' \n' | sed -n 's/.*"executed":\([0-9]*\).*/\1/p')
+[ "$EXECUTED" = 1 ] || { echo "FAIL: executed=$EXECUTED want 1 (only the recovered job recomputes)"; exit 1; }
+echo "ok: crash recovery (journal replay + disk store hits, executed=1)"
+
+DROOP_KEY=$(field "$RD2" key)
+kill -TERM "$DPID"
+wait "$DPID" || { echo "FAIL: post-recovery drain"; cat "$LOG"; exit 1; }
+
+# 6. Corruption: flip a byte in the droop entry's payload and plant a
+# torn temp file; the restart quarantines both (counted, never fatal)
+# and the corrupted result recomputes cleanly.
+ENTRY="$DATA/store/entries/$DROOP_KEY"
+[ -f "$ENTRY" ] || { echo "FAIL: no store entry at $ENTRY"; ls "$DATA/store/entries"; exit 1; }
+SIZE=$(wc -c <"$ENTRY")
+printf '\001' | dd of="$ENTRY" bs=1 seek=$((SIZE - 2)) conv=notrunc 2>/dev/null
+printf 'torn' >"$DATA/store/entries/.tmp-killed"
+
+: >"$LOG"
+"$BIN" -addr 127.0.0.1:0 -slots 1 -data-dir "$DATA" >"$LOG" 2>&1 &
+DPID=$!
+wait_listen "$LOG"
+grep -q "quarantined 1, torn temps 1" "$LOG" \
+  || { echo "FAIL: corruption not quarantined at startup"; cat "$LOG"; exit 1; }
+RD3=$(post "$DROOP")
+[ "$(field "$RD3" cached)" = true ] && { echo "FAIL: corrupted entry served as a hit: $RD3"; exit 1; }
+wait_done "$(field "$RD3" id)" 300
+echo "ok: corruption quarantined at startup, result recomputed"
+
+# 7. Final drain of the durable daemon.
+kill -TERM "$DPID"
+EXIT=0
+wait "$DPID" || EXIT=$?
+[ "$EXIT" = 0 ] || { echo "FAIL: durable drain exit=$EXIT"; cat "$LOG"; exit 1; }
+grep -q "drained clean" "$LOG" || { echo "FAIL: no clean-drain line"; cat "$LOG"; exit 1; }
+echo "ok: durable daemon drained clean"
 echo "serve e2e PASS"
