@@ -576,12 +576,25 @@ func boolMetric(ok bool) float64 {
 // mid-run, reporting the completion and verification rates the
 // graceful-degradation layer sustains.
 func BenchmarkChaosBFSSurvival(b *testing.B) {
+	benchChaosBFSSurvival(b, false)
+}
+
+// BenchmarkChaosBFSSurvivalForked is the same sweep with warm-state
+// forking on: each trial forks off a shared fault-free prefix machine
+// instead of replaying the prefix from cycle 0. Results are
+// bit-identical to the unforked variant; only wall clock differs.
+func BenchmarkChaosBFSSurvivalForked(b *testing.B) {
+	benchChaosBFSSurvival(b, true)
+}
+
+func benchChaosBFSSurvival(b *testing.B, fork bool) {
 	d := core.NewDesign()
 	cfg := core.DefaultChaosConfig()
 	cfg.Side, cfg.Workers, cfg.GraphSide = 4, 8, 6
 	cfg.Trials = 2
 	cfg.Kills = []int{0, 1}
 	cfg.MaxCycles = 80_000
+	cfg.Fork = fork
 	var points []core.ChaosPoint
 	for i := 0; i < b.N; i++ {
 		var err error

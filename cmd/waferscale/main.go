@@ -524,6 +524,7 @@ func cmdChaos(args []string) error {
 	hostWorkers := fs.Int("host-workers", 0, "host goroutines running trials (0 = GOMAXPROCS)")
 	shards := fs.Int("shards", 1, "spatial shards stepping each trial machine per cycle (1 = serial engine)")
 	shardWorkers := fs.Int("shard-workers", 0, "host goroutines per sharded machine (0 = min(shards, GOMAXPROCS))")
+	fork := fs.Bool("fork", true, "fork each trial from a shared warm prefix (bit-identical results, skips replaying the fault-free prefix)")
 	cfgPath := fs.String("config", "", "JSON config file overriding the prototype design")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -543,6 +544,7 @@ func cmdChaos(args []string) error {
 	cfg.TrialWorkers = *hostWorkers
 	cfg.Shards = *shards
 	cfg.ShardWorkers = *shardWorkers
+	cfg.Fork = *fork
 	cfg.Kills = cfg.Kills[:0]
 	for _, f := range strings.Split(*kills, ",") {
 		k, err := strconv.Atoi(strings.TrimSpace(f))

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -43,6 +44,7 @@ func main() {
 	kill := flag.String("kill", "", `explicit tiles to kill, e.g. "1,0;2,3"`)
 	faultAt := flag.Int64("fault-at-cycle", 1000, "cycle the kills land at")
 	trials := flag.Int("trials", 1, "fault-survival trials (with -faults; each draws fresh victims)")
+	fork := flag.Bool("fork", true, "run -trials off one warm prefix forked per trial (bit-identical, skips replaying the fault-free prefix)")
 	hostWorkers := flag.Int("host-workers", 0, "host goroutines running trials (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 1, "spatial shards stepping the wafer per cycle (1 = serial engine)")
 	shardWorkers := flag.Int("shard-workers", 0, "host goroutines per sharded machine (0 = min(shards, GOMAXPROCS))")
@@ -57,7 +59,7 @@ func main() {
 	var err error
 	if *trials > 1 {
 		err = runTrials(*workload, *side, *cores, *vertices, *edges, *workers, *src, *seed, *maxCycles,
-			*faults, *faultSeed, *faultAt, *trials, *hostWorkers, *shards, *shardWorkers)
+			*faults, *faultSeed, *faultAt, *trials, *hostWorkers, *shards, *shardWorkers, *fork)
 	} else {
 		err = run(*workload, *side, *cores, *vertices, *edges, *workers, *src, *seed, *maxCycles, *profile,
 			*faults, *faultSeed, *kill, *faultAt, *shards, *shardWorkers)
@@ -188,7 +190,7 @@ func run(workload string, side, cores, vertices, edges, workers, src int, seed, 
 // fault.TrialSeed, so the survival counts are identical at any
 // -host-workers value.
 func runTrials(workload string, side, cores, vertices, edges, workers, src int, seed, maxCycles int64,
-	faults int, faultSeed, faultAt int64, trials, hostWorkers, shards, shardWorkers int) error {
+	faults int, faultSeed, faultAt int64, trials, hostWorkers, shards, shardWorkers int, fork bool) error {
 	if workload != "bfs" && workload != "sssp" {
 		return fmt.Errorf("-trials supports bfs|sssp, not %q", workload)
 	}
@@ -227,29 +229,85 @@ func runTrials(workload string, side, cores, vertices, edges, workers, src int, 
 		verified  bool
 		cycles    int64
 	}
-	results, err := parallel.Map(nil, trials, hostWorkers, func(i int) (outcome, error) {
-		m, err := sim.NewMachine(cfg, fault.NewMap(cfg.Grid()))
-		if err != nil {
-			return outcome{}, err
+	var results []outcome
+	var err error
+	if fork {
+		// Every trial's kills land at the same cycle, so one warm prefix
+		// serves them all: advance a fault-free machine to the cycle
+		// before the kills, snapshot it once, and fork per trial.
+		// Bit-identical to the from-scratch path below.
+		m0, merr := sim.NewMachine(cfg, fault.NewMap(cfg.Grid()))
+		if merr != nil {
+			return merr
 		}
-		m.Shards = shards
-		m.Workers = shardWorkers
-		defer m.Close()
-		sched := inject.Random(cfg.Grid(), faults, [2]int64{faultAt, faultAt},
-			fault.TrialSeed(faultSeed, faults, i), nil)
-		if err := m.AttachSchedule(sched); err != nil {
-			return outcome{}, err
+		m0.Shards = shards
+		m0.Workers = shardWorkers
+		ws := sim.AllWorkers(m0, workers)
+		distA, perr := sim.PrepareSSSP(m0, g, src, ws)
+		if perr != nil {
+			m0.Close()
+			return perr
 		}
-		ws := sim.AllWorkers(m, workers)
-		res, err := sim.RunSSSPUnderFaults(m, g, src, ws, maxCycles)
-		if err != nil {
-			return outcome{}, err
+		forkAt := faultAt - 1
+		if forkAt < 0 {
+			forkAt = 0
 		}
-		o := outcome{completed: res.Completed, cycles: res.Cycles}
-		o.verified = res.Completed && res.ReadErrors == 0 &&
-			sim.CountMismatches(res.Dist, want) == 0
-		return o, nil
-	})
+		if forkAt > maxCycles {
+			forkAt = maxCycles
+		}
+		if rerr := m0.RunToCycleCtx(context.Background(), forkAt); rerr != nil {
+			m0.Close()
+			return rerr
+		}
+		snap := m0.Snapshot()
+		m0.Close()
+		fmt.Printf("warm prefix: %d of %d cycles shared per trial\n", snap.Cycle(), maxCycles)
+		results, err = parallel.Map(nil, trials, hostWorkers, func(i int) (outcome, error) {
+			m := snap.Fork()
+			defer m.Close()
+			sched := inject.Random(cfg.Grid(), faults, [2]int64{faultAt, faultAt},
+				fault.TrialSeed(faultSeed, faults, i), nil)
+			if err := m.AttachSchedule(sched); err != nil {
+				return outcome{}, err
+			}
+			if err := m.RunToCycleCtx(context.Background(), maxCycles); err != nil {
+				return outcome{}, err
+			}
+			var runErr error
+			if !m.AllHalted() {
+				runErr = &sim.BudgetError{Cycles: maxCycles}
+			}
+			res := sim.CollectSSSP(m, g, distA, runErr)
+			o := outcome{completed: res.Completed, cycles: res.Cycles}
+			o.verified = res.Completed && res.ReadErrors == 0 &&
+				sim.CountMismatches(res.Dist, want) == 0
+			return o, nil
+		})
+	} else {
+		results, err = parallel.Map(nil, trials, hostWorkers, func(i int) (outcome, error) {
+			m, err := sim.NewMachine(cfg, fault.NewMap(cfg.Grid()))
+			if err != nil {
+				return outcome{}, err
+			}
+			m.Shards = shards
+			m.Workers = shardWorkers
+			defer m.Close()
+			sched := inject.Random(cfg.Grid(), faults, [2]int64{faultAt, faultAt},
+				fault.TrialSeed(faultSeed, faults, i), nil)
+			if err := m.AttachSchedule(sched); err != nil {
+				return outcome{}, err
+			}
+			ws := sim.AllWorkers(m, workers)
+			res, err := sim.RunSSSPUnderFaults(m, g, src, ws, maxCycles)
+			if err != nil {
+				return outcome{}, err
+			}
+			o := outcome{completed: res.Completed, cycles: res.Cycles}
+			o.verified = res.Completed && res.ReadErrors == 0 &&
+				sim.CountMismatches(res.Dist, want) == 0
+			return o, nil
+		})
+	}
 	if err != nil {
 		return err
 	}

@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"waferscale/internal/fault"
@@ -43,6 +45,16 @@ type ChaosConfig struct {
 	Shards       int
 	ShardWorkers int
 
+	// Fork runs each kill count's trials off a shared warm prefix: the
+	// fault-free machine is built and prepared once, advanced to each
+	// trial's fork cycle (the cycle before its first injected kill) and
+	// forked per trial, instead of replaying the identical fault-free
+	// prefix from cycle 0 in every trial. Results are bit-identical to
+	// the from-scratch path at any trial-worker, shard and shard-worker
+	// setting; only wall clock changes. Fork is a host execution knob
+	// like TrialWorkers — it must not enter spec hashes or cache keys.
+	Fork bool
+
 	// Progress, when non-nil, is invoked after every completed trial
 	// with the cumulative trials finished across the whole sweep, the
 	// total (Trials * len(Kills)), and the cumulative machine cycles
@@ -64,6 +76,7 @@ func DefaultChaosConfig() ChaosConfig {
 		KillWindow: [2]int64{500, 5000},
 		MaxCycles:  400_000,
 		GraphSide:  8,
+		Fork:       true,
 	}
 }
 
@@ -165,21 +178,30 @@ func (d *Design) RunChaosCtx(ctx context.Context, cfg ChaosConfig) ([]ChaosPoint
 		cyclesStepped atomic.Int64
 	)
 	trialsTotal := cfg.Trials * len(cfg.Kills)
+	report := func(t chaosTrial) {
+		if cfg.Progress != nil {
+			cfg.Progress(int(trialsDone.Add(1)), trialsTotal, cyclesStepped.Add(t.cycles))
+		}
+	}
 
 	points := make([]ChaosPoint, 0, len(cfg.Kills))
 	for _, kills := range cfg.Kills {
-		trials := make([]chaosTrial, cfg.Trials)
-		err := parallel.ForEach(ctx, cfg.Trials, trialWorkers, func(i int) error {
-			t, err := d.runChaosTrial(ctx, cfg, g, want, kills, i)
-			if err != nil {
-				return err
-			}
-			trials[i] = t
-			if cfg.Progress != nil {
-				cfg.Progress(int(trialsDone.Add(1)), trialsTotal, cyclesStepped.Add(t.cycles))
-			}
-			return nil
-		})
+		var trials []chaosTrial
+		var err error
+		if cfg.Fork {
+			trials, err = d.runForkedChaosPoint(ctx, cfg, g, want, kills, trialWorkers, report)
+		} else {
+			trials = make([]chaosTrial, cfg.Trials)
+			err = parallel.ForEach(ctx, cfg.Trials, trialWorkers, func(i int) error {
+				t, terr := d.runChaosTrial(ctx, cfg, g, want, kills, i)
+				if terr != nil {
+					return terr
+				}
+				trials[i] = t
+				report(t)
+				return nil
+			})
+		}
 		if err != nil {
 			return points, err
 		}
@@ -235,6 +257,168 @@ func (d *Design) runChaosTrial(ctx context.Context, cfg ChaosConfig, g *sim.Grap
 		t.verified = sim.CountMismatches(res.Dist, want) == 0
 	}
 	return t, nil
+}
+
+// runForkedChaosPoint runs one kill count's trials off a shared warm
+// prefix. The fault-free machine is built and the workload loaded once;
+// trials are ordered by fork cycle (the cycle before each trial's first
+// injected kill, clamped to the cycle budget), the prefix is advanced
+// monotonically to each fork cycle, and an independent fork finishes
+// every trial.
+//
+// Bit-identity with the from-scratch path follows from three facts: the
+// prefix carries no schedule and no trial fires events at or before its
+// fork cycle, so the prefix states agree; a fork is a deep copy, so
+// stepping it from the fork cycle is the same computation from-scratch
+// stepping performs; and per-trial seeds come from fault.TrialSeed, not
+// shared state, so trial order and worker count do not matter.
+func (d *Design) runForkedChaosPoint(ctx context.Context, cfg ChaosConfig, g *sim.Graph, want []int32, kills, trialWorkers int, report func(chaosTrial)) ([]chaosTrial, error) {
+	m0, err := d.BuildMachine(cfg.Side, nil)
+	if err != nil {
+		return nil, err
+	}
+	m0.Shards = cfg.Shards
+	m0.Workers = cfg.ShardWorkers
+	defer m0.Close()
+	ws := sim.SpreadWorkers(m0, cfg.Workers)
+	distA, err := sim.PrepareSSSP(m0, g, 0, ws)
+	if err != nil {
+		return nil, err
+	}
+
+	trials := make([]chaosTrial, cfg.Trials)
+
+	// finish owns fm: it attaches the trial's schedule, runs to the
+	// absolute cycle budget, and collects the result. Each call writes a
+	// distinct trials slot, so concurrent finishes do not race.
+	finish := func(fm *sim.Machine, sched *inject.Schedule, trial int) error {
+		defer fm.Close()
+		if err := fm.AttachSchedule(sched); err != nil {
+			return err
+		}
+		if err := fm.RunToCycleCtx(ctx, cfg.MaxCycles); err != nil {
+			return err
+		}
+		var runErr error
+		if !fm.AllHalted() {
+			runErr = &sim.BudgetError{Cycles: cfg.MaxCycles}
+		}
+		res := sim.CollectSSSP(fm, g, distA, runErr)
+		t := chaosTrial{
+			completed: res.Completed,
+			retries:   res.Report.RetriedOps,
+			relays:    res.Report.RelayedRequests + res.Report.RelayedResponses,
+			lostBytes: res.Report.LostSharedBytes,
+			cycles:    res.Cycles,
+		}
+		if res.Completed && res.ReadErrors == 0 && len(fm.Faults()) == 0 {
+			t.verified = sim.CountMismatches(res.Dist, want) == 0
+		}
+		trials[trial] = t
+		report(t)
+		return nil
+	}
+
+	if kills == 0 {
+		// No events at all: every trial is the same fault-free run (the
+		// per-trial seed only feeds schedule generation). Run it once on
+		// the prefix machine itself and replicate the outcome.
+		if err := finish(m0, inject.Random(m0.Cfg.Grid(), 0, cfg.KillWindow, fault.TrialSeed(cfg.Seed, 0, 0), nil), 0); err != nil {
+			return nil, err
+		}
+		for i := 1; i < cfg.Trials; i++ {
+			trials[i] = trials[0]
+			report(trials[0])
+		}
+		return trials, nil
+	}
+
+	scheds := make([]*inject.Schedule, cfg.Trials)
+	forkAt := make([]int64, cfg.Trials)
+	order := make([]int, cfg.Trials)
+	for i := range scheds {
+		scheds[i] = inject.Random(m0.Cfg.Grid(), kills, cfg.KillWindow, fault.TrialSeed(cfg.Seed, kills, i), nil)
+		fc := int64(0)
+		if evs := scheds[i].Events(); len(evs) > 0 {
+			// The first event at cycle k fires during the step that makes
+			// cycle == k, so the latest safe fork point is k-1 — clamped
+			// to the budget, past which from-scratch runs never step.
+			fc = evs[0].Cycle - 1
+		}
+		if fc < 0 {
+			fc = 0
+		}
+		if fc > cfg.MaxCycles {
+			fc = cfg.MaxCycles
+		}
+		forkAt[i] = fc
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return forkAt[order[a]] < forkAt[order[b]] })
+
+	workers := parallel.Workers(trialWorkers, cfg.Trials)
+	if workers <= 1 {
+		for _, i := range order {
+			if err := m0.RunToCycleCtx(ctx, forkAt[i]); err != nil {
+				return nil, err
+			}
+			if err := finish(m0.Fork(), scheds[i], i); err != nil {
+				return nil, err
+			}
+		}
+		return trials, nil
+	}
+
+	// Producer/consumer: this goroutine advances the prefix and hands a
+	// fresh fork to the pool per trial; the pool finishes trials
+	// concurrently. The channel is unbuffered so at most one fork waits
+	// unowned.
+	type forkJob struct {
+		trial int
+		m     *sim.Machine
+	}
+	jobs := make(chan forkJob)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var poolErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				if err := finish(jb.m, scheds[jb.trial], jb.trial); err != nil {
+					mu.Lock()
+					if poolErr == nil {
+						poolErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	var prodErr error
+	for _, i := range order {
+		mu.Lock()
+		failed := poolErr != nil
+		mu.Unlock()
+		if failed {
+			break
+		}
+		if err := m0.RunToCycleCtx(ctx, forkAt[i]); err != nil {
+			prodErr = err
+			break
+		}
+		jobs <- forkJob{trial: i, m: m0.Fork()}
+	}
+	close(jobs)
+	wg.Wait()
+	if prodErr != nil {
+		return nil, prodErr
+	}
+	if poolErr != nil {
+		return nil, poolErr
+	}
+	return trials, nil
 }
 
 // FormatChaos renders the survival curve as an aligned text table.

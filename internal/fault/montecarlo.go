@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"waferscale/internal/geom"
@@ -76,6 +77,11 @@ func (mc MonteCarlo) SamplesCtx(ctx context.Context, faults int, metric Metric) 
 // trial indices. Output is bit-identical at any worker count because
 // each trial draws from its own derived-seed rand.Rand and writes only
 // its own slot.
+//
+// The map passed to fn lives in per-worker pooled storage (see Sampler)
+// and is valid only for the duration of the call — Clone it to retain
+// it past the trial. The pooling is invisible to results: a Sampler
+// draw is bit-identical to a fresh Random map.
 func (mc MonteCarlo) ForEachMap(faults int, fn func(trial int, m *Map)) {
 	mc.ForEachMapCtx(context.Background(), faults, fn)
 }
@@ -86,9 +92,12 @@ func (mc MonteCarlo) ForEachMap(faults int, fn func(trial int, m *Map)) {
 // interrupted mid-map). A nil error means every trial ran.
 func (mc MonteCarlo) ForEachMapCtx(ctx context.Context, faults int, fn func(trial int, m *Map)) error {
 	var done atomic.Int64
+	pool := sync.Pool{New: func() any { return NewSampler(mc.Grid) }}
 	return parallel.ForEach(ctx, mc.Trials, mc.Workers, func(i int) error {
 		rng := rand.New(rand.NewSource(TrialSeed(mc.Seed, faults, i)))
-		fn(i, Random(mc.Grid, faults, rng))
+		s := pool.Get().(*Sampler)
+		fn(i, s.Draw(faults, rng))
+		pool.Put(s)
 		if mc.Progress != nil {
 			mc.Progress(int(done.Add(1)), mc.Trials)
 		}

@@ -1,0 +1,91 @@
+package noc
+
+import "waferscale/internal/fault"
+
+// Fork returns a deep copy of the simulator: every piece of mutable run
+// state — router FIFOs, in-flight link traffic, occupancy counters,
+// link outages, statistics, the cycle counter and the packet ID
+// sequence — is copied, so stepping the fork is bit-identical to
+// stepping the original while leaving the original untouched. It is the
+// NoC half of the machine-level warm-state snapshot that lets Monte
+// Carlo sweeps run a shared prefix once and fork per trial.
+//
+// fm is the fault map the fork routes against; pass a Clone of the
+// original's map (the map is shared with the kernel and machine layers,
+// so the caller owns making exactly one clone per fork). fm must have
+// the same grid and describe the same fault state as the original's map
+// — the fork trusts router liveness, not fm, for which routers exist.
+//
+// The fork's OnDeliver is nil (callbacks capture the original's owner;
+// the caller rewires its own), its Policy is shared (policies are
+// stateless by contract), and its shard engine is rebuilt lazily on
+// first step from the copied Shards/Workers knobs. Fork must be called
+// between cycles, like every other mutation of the simulator.
+func (s *Sim) Fork(fm *fault.Map) *Sim {
+	n := &Sim{
+		grid:            s.grid,
+		fm:              fm,
+		cfg:             s.cfg,
+		Policy:          s.Policy,
+		cycle:           s.cycle,
+		nextID:          s.nextID,
+		stats:           s.stats,
+		live:            s.live,
+		RetainDelivered: s.RetainDelivered,
+		Shards:          s.Shards,
+		Workers:         s.Workers,
+	}
+	n.linkDown = append([]bool(nil), s.linkDown...)
+	for i := range s.linkUse {
+		n.linkUse[i] = append([]int64(nil), s.linkUse[i]...)
+	}
+	if s.delivered != nil {
+		n.delivered = append([]Packet(nil), s.delivered...)
+	}
+	for i, mn := range s.nets {
+		n.nets[i] = forkMeshNet(mn, s.grid.Size(), s.cfg.FIFODepth)
+	}
+	return n
+}
+
+// forkMeshNet deep-copies one physical network. Router existence is
+// taken from the source's router array (nil = faulty at construction or
+// killed at runtime), not from the fault map — the array is the
+// authoritative record once runtime kills start landing. The FIFO ring
+// buffers are re-slabbed exactly like NewSim's layout, with each ring's
+// logical contents copied in order (head normalized to 0 — behaviorally
+// identical, since all access goes through the ring API).
+func forkMeshNet(src *meshNet, tiles, fifoDepth int) *meshNet {
+	mn := &meshNet{
+		net:      src.net,
+		routers:  make([]*router, tiles),
+		inAir:    append([]int32(nil), src.inAir...),
+		reserved: make([]int32, tiles*numPorts),
+	}
+	mn.flights = append([]inFlight(nil), src.flights...)
+	routers := make([]router, tiles)
+	slab := make([]Packet, tiles*numPorts*fifoDepth)
+	for i, sr := range src.routers {
+		if sr == nil {
+			continue
+		}
+		r := &routers[i]
+		r.at = sr.at
+		r.rrAt = sr.rrAt
+		base := i * numPorts * fifoDepth
+		for p := 0; p < numPorts; p++ {
+			buf := slab[base+p*fifoDepth : base+(p+1)*fifoDepth]
+			sq := &sr.in[p]
+			for k := 0; k < sq.n; k++ {
+				j := sq.head + k
+				if j >= len(sq.buf) {
+					j -= len(sq.buf)
+				}
+				buf[k] = sq.buf[j]
+			}
+			r.in[p] = pktFIFO{buf: buf, head: 0, n: sq.n}
+		}
+		mn.routers[i] = r
+	}
+	return mn
+}

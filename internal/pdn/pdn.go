@@ -271,9 +271,16 @@ func SolveCtx(ctx context.Context, cfg Config) (*Solution, error) {
 	if every <= 0 {
 		every = 200
 	}
+	lastResid := math.Inf(1)
 	for sweeps := 0; sweeps < maxSweeps; sweeps++ {
 		r := sweep()
+		lastResid = r
 		if r < tol {
+			// Terminal progress tick: without it a stream ends at the
+			// last ProgressEvery boundary, up to every-1 sweeps stale.
+			if cfg.Progress != nil {
+				cfg.Progress(sweeps+1, r)
+			}
 			return &Solution{Grid: g, Volts: v, Sweeps: sweeps + 1, Residual: r, cfg: cfg}, nil
 		}
 		if (sweeps+1)%every == 0 {
@@ -284,6 +291,11 @@ func SolveCtx(ctx context.Context, cfg Config) (*Solution, error) {
 				return nil, err
 			}
 		}
+	}
+	// Non-convergence is terminal too: report the final residual so the
+	// stream's last value reflects where the solve actually gave up.
+	if cfg.Progress != nil && maxSweeps%every != 0 {
+		cfg.Progress(maxSweeps, lastResid)
 	}
 	return nil, fmt.Errorf("%w after %d sweeps", ErrNoConvergence, maxSweeps)
 }

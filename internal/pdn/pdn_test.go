@@ -521,3 +521,44 @@ func TestSolveScalesQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSolveTerminalProgress: both terminal paths — convergence and
+// sweep exhaustion — must close the progress stream with the final
+// sweep count and residual instead of leaving it stale at the last
+// ProgressEvery boundary.
+func TestSolveTerminalProgress(t *testing.T) {
+	// Converged solve: the last tick reports exactly Solution.Sweeps and
+	// Solution.Residual, even though convergence lands mid-interval.
+	cfg := DefaultConfig(geom.NewGrid(16, 16), tileCurrent)
+	cfg.ProgressEvery = 10_000 // far coarser than convergence needs
+	var sweeps []int
+	var resids []float64
+	cfg.Progress = func(s int, r float64) { sweeps = append(sweeps, s); resids = append(resids, r) }
+	sol, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweeps) == 0 {
+		t.Fatal("no Progress call on a converging solve")
+	}
+	if got := sweeps[len(sweeps)-1]; got != sol.Sweeps {
+		t.Errorf("last progress sweep = %d, solution converged at %d", got, sol.Sweeps)
+	}
+	if got := resids[len(resids)-1]; got != sol.Residual {
+		t.Errorf("last progress residual = %g, solution residual %g", got, sol.Residual)
+	}
+
+	// Non-convergence: MaxSweeps off the ProgressEvery grid still ends
+	// the stream at exactly MaxSweeps.
+	cfg2 := DefaultConfig(geom.NewGrid(32, 32), tileCurrent)
+	cfg2.MaxSweeps = 7
+	cfg2.ProgressEvery = 5
+	sweeps = nil
+	cfg2.Progress = func(s int, r float64) { sweeps = append(sweeps, s) }
+	if _, err := Solve(cfg2); !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+	if want := []int{5, 7}; len(sweeps) != 2 || sweeps[0] != want[0] || sweeps[1] != want[1] {
+		t.Errorf("progress sweeps = %v, want %v", sweeps, want)
+	}
+}

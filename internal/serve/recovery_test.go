@@ -401,6 +401,45 @@ func TestRetryAfterScalesWithLoad(t *testing.T) {
 	close(h.release)
 }
 
+// TestRetryAfterZeroDurationRing: a ring full of zero (or sub-floor)
+// durations — cache-warm jobs finishing faster than the clock resolves
+// — must not collapse the estimate below the mean floor; the hint stays
+// a sane positive value and still honours the 1s floor.
+func TestRetryAfterZeroDurationRing(t *testing.T) {
+	h := newHarness(t, Config{Slots: 1, QueueDepth: 1}, true)
+	h.post(t, `{"kind":"dse"}`)
+	h.waitStarted(t) // slot busy
+	h.post(t, `{"kind":"droop"}`)
+
+	// Fill the whole ring with zeros: the estimator has "history", all
+	// of it useless. Before the mean floor this produced mean=0.
+	h.srv.mu.Lock()
+	for i := 0; i < len(h.srv.recentDur); i++ {
+		h.srv.recordDurationLocked(0)
+	}
+	h.srv.mu.Unlock()
+	code, _, hdr := h.post(t, `{"kind":"nocmc"}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("HTTP %d want 429", code)
+	}
+	if got := hdr.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After=%q want 1 (zero-duration ring floors at minMeanJobDuration, clamps at 1s)", got)
+	}
+
+	// Sub-floor but non-zero means are floored too: 2 jobs on 1 slot at
+	// the 100ms floor is 0.2s, ceil+clamp to 1 — never 0, never absent.
+	h.srv.mu.Lock()
+	for i := 0; i < len(h.srv.recentDur); i++ {
+		h.srv.recordDurationLocked(time.Microsecond)
+	}
+	h.srv.mu.Unlock()
+	_, _, hdr = h.post(t, `{"kind":"report"}`)
+	if got := hdr.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After=%q want 1 for microsecond jobs", got)
+	}
+	close(h.release)
+}
+
 // TestCancelDuringBackoff: a client cancel while a stalled job waits
 // out its retry backoff wins — the job never resurrects.
 func TestCancelDuringBackoff(t *testing.T) {

@@ -388,6 +388,10 @@ func (s *Server) finishLocked(j *Job, st State, errStr string, result json.RawMe
 	j.closeSubs()
 }
 
+// minMeanJobDuration is the floor on the observed mean job duration
+// used by the Retry-After estimator (see retryAfterLocked).
+const minMeanJobDuration = 100 * time.Millisecond
+
 // recordDurationLocked feeds the Retry-After estimator. Caller holds
 // s.mu.
 func (s *Server) recordDurationLocked(d time.Duration) {
@@ -400,7 +404,11 @@ func (s *Server) recordDurationLocked(d time.Duration) {
 
 // retryAfterLocked estimates how long a rejected client should wait:
 // the backlog ahead of it, divided across the slots, times the mean
-// recent job duration. With no history yet it assumes 2s per job.
+// recent job duration. With no history yet it assumes 2s per job; a
+// recorded mean is floored at minMeanJobDuration so a ring full of
+// near-instant completions (cache-warm jobs, coarse clocks rounding
+// sub-millisecond runs to zero) cannot collapse the estimate to
+// "retry immediately" while a deep backlog still has to drain.
 // Caller holds s.mu.
 func (s *Server) retryAfterLocked() int {
 	mean := 2 * time.Second
@@ -410,6 +418,9 @@ func (s *Server) retryAfterLocked() int {
 			sum += s.recentDur[i]
 		}
 		mean = sum / time.Duration(s.durN)
+		if mean < minMeanJobDuration {
+			mean = minMeanJobDuration
+		}
 	}
 	secs := math.Ceil(float64(s.queue.depth()+s.running) / float64(s.slots) * mean.Seconds())
 	if secs < 1 {

@@ -354,6 +354,76 @@ func TestEventsStream(t *testing.T) {
 	}
 }
 
+// TestEventsStreamTerminalProgressReal drives the real runners and
+// asserts the progress stream ends at the terminal value, not a stale
+// stride boundary. A side-4 droop converges far inside the default
+// 200-sweep progress interval — before the terminal tick it emitted no
+// "sor" event at all — and the chaos sweep's last "trials" event must
+// report every trial done (the forked runner included).
+func TestEventsStreamTerminalProgressReal(t *testing.T) {
+	h := &testHarness{}
+	h.srv = New(Config{Slots: 1})
+	h.ts = httptest.NewServer(h.srv.Handler())
+	t.Cleanup(func() { h.ts.Close(); h.srv.Close() })
+
+	stream := func(id string) []Event {
+		t.Helper()
+		resp, err := http.Get(h.ts.URL + "/v1/jobs/" + id + "/events")
+		if err != nil {
+			t.Fatalf("events: %v", err)
+		}
+		defer resp.Body.Close()
+		var events []Event
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var ev Event
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatalf("bad event line %q: %v", sc.Text(), err)
+			}
+			events = append(events, ev)
+		}
+		return events
+	}
+	lastOfStage := func(events []Event, stage string) (Event, bool) {
+		var out Event
+		found := false
+		for _, ev := range events {
+			if ev.Stage == stage {
+				out, found = ev, true
+			}
+		}
+		return out, found
+	}
+
+	_, j, _ := h.post(t, `{"kind":"droop","droop":{"side":4}}`)
+	h.waitState(t, j.ID, "done")
+	_, body := h.get(t, "/v1/jobs/"+j.ID+"/result")
+	var dres DroopResult
+	if err := json.Unmarshal(body, &dres); err != nil {
+		t.Fatalf("droop result decode: %v", err)
+	}
+	last, ok := lastOfStage(stream(j.ID), "sor")
+	if !ok {
+		t.Fatal("droop stream has no sor progress event (terminal tick missing)")
+	}
+	if last.Done != int64(dres.Sweeps) {
+		t.Errorf("last sor event Done = %d, solve converged at sweep %d", last.Done, dres.Sweeps)
+	}
+	if last.Residual != dres.ResidualV {
+		t.Errorf("last sor event residual = %g, solution residual %g", last.Residual, dres.ResidualV)
+	}
+
+	_, j, _ = h.post(t, `{"kind":"chaos","chaos":{"side":4,"workers":8,"trials":2,"kills":[0,1],"graphSide":6,"maxCycles":80000}}`)
+	h.waitState(t, j.ID, "done")
+	last, ok = lastOfStage(stream(j.ID), "trials")
+	if !ok {
+		t.Fatal("chaos stream has no trials progress event")
+	}
+	if last.Done != last.Total || last.Done != 4 {
+		t.Errorf("last trials event %d/%d, want 4/4", last.Done, last.Total)
+	}
+}
+
 // TestDrainGraceful: drain refuses new work, finishes running jobs and
 // leaves no goroutines behind.
 func TestDrainGraceful(t *testing.T) {

@@ -52,31 +52,53 @@ func RunSSSPUnderFaults(m *Machine, g *Graph, src int, workers []WorkerRef, maxC
 // ChaosResult is produced, since a mid-run snapshot would look like a
 // budget expiry rather than a cancelled run.
 func RunSSSPUnderFaultsCtx(ctx context.Context, m *Machine, g *Graph, src int, workers []WorkerRef, maxCycles int64) (*ChaosResult, error) {
-	distA, err := layoutSSSP(m, g, src, len(workers))
+	distA, err := PrepareSSSP(m, g, src, workers)
 	if err != nil {
 		return nil, err
 	}
-	prog, err := Assemble(RelaxKernelSource)
-	if err != nil {
-		return nil, fmt.Errorf("sim: kernel does not assemble: %w", err)
-	}
-	for wid, w := range workers {
-		if err := m.LoadProgram(w.Tile, w.Core, prog); err != nil {
-			return nil, err
-		}
-		if err := m.WritePrivate32(w.Tile, w.Core, paramBase, uint32(wid)); err != nil {
-			return nil, err
-		}
-		if err := m.WritePrivate32(w.Tile, w.Core, paramBase+4, arch.GlobalBase); err != nil {
-			return nil, err
-		}
-	}
-
-	res := &ChaosResult{}
-	res.RunErr = m.RunCtx(ctx, maxCycles)
+	runErr := m.RunCtx(ctx, maxCycles)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	return CollectSSSP(m, g, distA, runErr), nil
+}
+
+// PrepareSSSP performs the setup half of a fault-tolerant SSSP/BFS run:
+// graph layout into shared memory, kernel assembly, and program plus
+// per-worker parameter loads. It returns the distance array's global
+// base address, which CollectSSSP needs for readback. Splitting setup
+// from execution lets the warm-state forking drivers prepare one prefix
+// machine, fork it per trial, and collect each fork independently.
+func PrepareSSSP(m *Machine, g *Graph, src int, workers []WorkerRef) (uint32, error) {
+	distA, err := layoutSSSP(m, g, src, len(workers))
+	if err != nil {
+		return 0, err
+	}
+	prog, err := Assemble(RelaxKernelSource)
+	if err != nil {
+		return 0, fmt.Errorf("sim: kernel does not assemble: %w", err)
+	}
+	for wid, w := range workers {
+		if err := m.LoadProgram(w.Tile, w.Core, prog); err != nil {
+			return 0, err
+		}
+		if err := m.WritePrivate32(w.Tile, w.Core, paramBase, uint32(wid)); err != nil {
+			return 0, err
+		}
+		if err := m.WritePrivate32(w.Tile, w.Core, paramBase+4, arch.GlobalBase); err != nil {
+			return 0, err
+		}
+	}
+	return distA, nil
+}
+
+// CollectSSSP assembles the ChaosResult from a machine whose run ended
+// (quiesced, budget expired, or forked-and-finished): completion and
+// fault classification, the degradation report, and the best-effort
+// distance readback. runErr is the run loop's verdict — nil for a
+// quiesced machine, a *BudgetError when the budget expired.
+func CollectSSSP(m *Machine, g *Graph, distA uint32, runErr error) *ChaosResult {
+	res := &ChaosResult{RunErr: runErr}
 	res.Completed = res.RunErr == nil
 	if res.RunErr == nil {
 		if faults := m.Faults(); len(faults) > 0 {
@@ -96,5 +118,5 @@ func RunSSSPUnderFaultsCtx(ctx context.Context, m *Machine, g *Graph, src int, w
 		}
 		res.Dist[i] = int32(v)
 	}
-	return res, nil
+	return res
 }

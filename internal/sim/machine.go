@@ -819,28 +819,67 @@ func (m *Machine) Run(maxCycles int64) error {
 // runProgressStride cycles the machine checks ctx (returning ctx.Err()
 // with the machine paused at a cycle boundary — the state stays
 // consistent and the run can even be resumed by calling Run again) and
-// invokes Progress, if set, with the current cycle count. The
-// execution itself is bit-identical to Run for any ctx that is never
-// cancelled.
+// invokes Progress, if set, with the current cycle count. On every exit
+// path — halt, budget expiry, cancellation — one final Progress call
+// reports the terminal cycle count, so progress streams never end with
+// a stale mid-interval value. The execution itself is bit-identical to
+// Run for any ctx that is never cancelled.
 func (m *Machine) RunCtx(ctx context.Context, maxCycles int64) error {
-	for i := int64(0); i < maxCycles; i++ {
-		if m.AllHalted() {
-			return nil
-		}
+	if err := m.runToCycle(ctx, m.cycle+maxCycles); err != nil {
+		return err
+	}
+	if m.AllHalted() {
+		return nil
+	}
+	return &BudgetError{Cycles: maxCycles}
+}
+
+// RunToCycleCtx steps the machine until its cycle counter reaches
+// target (or every started core halts first, or ctx is cancelled).
+// Unlike RunCtx, reaching the target without quiescing is not an error
+// — callers that need budget semantics check AllHalted afterwards. It
+// is the warm-state forking workhorse: a Monte Carlo driver advances
+// the shared prefix machine to each trial's fork cycle with it, and a
+// forked trial runs to the absolute cycle budget with it, matching a
+// from-scratch RunCtx step for step. A target at or before the current
+// cycle is a no-op. Like RunCtx it emits a terminal Progress call.
+func (m *Machine) RunToCycleCtx(ctx context.Context, target int64) error {
+	return m.runToCycle(ctx, target)
+}
+
+// runToCycle is the shared run loop: step to the absolute target cycle,
+// checking halt state every iteration and ctx/Progress at stride
+// boundaries, with one final Progress tick on every exit path.
+func (m *Machine) runToCycle(ctx context.Context, target int64) error {
+	for i := int64(0); m.cycle < target && !m.AllHalted(); i++ {
 		if i%runProgressStride == 0 && i > 0 {
 			if m.Progress != nil {
 				m.Progress(m.cycle)
 			}
+			// The stride call above already reported this cycle, so a
+			// cancelled run's last Progress value is its pause cycle.
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
 		m.Step()
 	}
-	if m.AllHalted() {
-		return nil
+	if m.Progress != nil {
+		m.Progress(m.cycle)
 	}
-	return fmt.Errorf("sim: not halted after %d cycles", maxCycles)
+	return nil
+}
+
+// BudgetError reports a run that did not quiesce within its cycle
+// budget — the never-hang bound expired with cores still running. The
+// machine is left paused at a cycle boundary and remains usable.
+type BudgetError struct {
+	// Cycles is the budget that expired (RunCtx's maxCycles).
+	Cycles int64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("sim: not halted after %d cycles", e.Cycles)
 }
 
 // runProgressStride is the cycle interval between RunCtx's ctx checks

@@ -217,6 +217,55 @@ func TestStoreByteBoundEvictsOldest(t *testing.T) {
 	}
 }
 
+// TestStoreQuarantineReleasesBytes: a live-read quarantine must give
+// its payload bytes back to the -store-mb budget. Regression test for
+// the accounting pairing: Put charges len(payload), so the quarantine
+// path must credit the same amount — otherwise every corrupt entry
+// permanently shrinks the usable budget and healthy entries get
+// evicted to make room that actually exists.
+func TestStoreQuarantineReleasesBytes(t *testing.T) {
+	dir := t.TempDir()
+	// Budget fits two 30-byte payloads but not three.
+	s := openTest(t, dir, 64)
+	payload := bytes.Repeat([]byte("x"), 30)
+	if err := s.Put(key(1), payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key(2), payload); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Bytes != 60 {
+		t.Fatalf("Bytes = %d after two puts, want 60", st.Bytes)
+	}
+
+	// Corrupt key(1) underneath the running store and read it: the
+	// entry is quarantined and its 30 bytes come back to the budget.
+	corruptLastByte(t, filepath.Join(dir, "entries", key(1)))
+	if _, ok := s.Get(key(1)); ok {
+		t.Fatal("corrupt entry served")
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 || st.VerifyFailures != 1 {
+		t.Fatalf("stats %+v, want 1 quarantined + 1 verify failure", st)
+	}
+	if st.Bytes != 30 || st.Entries != 1 {
+		t.Fatalf("Bytes = %d, Entries = %d after quarantine, want 30 and 1", st.Bytes, st.Entries)
+	}
+
+	// The freed budget is genuinely reusable: a third payload now fits
+	// alongside the survivor without evicting it.
+	if err := s.Put(key(3), payload); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.Evictions != 0 || st.Entries != 2 || st.Bytes != 60 {
+		t.Fatalf("stats %+v, want the freed bytes to admit the new entry with no eviction", st)
+	}
+	if _, ok := s.Get(key(2)); !ok {
+		t.Fatal("healthy entry evicted despite freed quarantine bytes")
+	}
+}
+
 func TestStoreConcurrentAccess(t *testing.T) {
 	s := openTest(t, t.TempDir(), 0)
 	done := make(chan struct{})

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Runs the cycle-engine benchmarks (NoC packet simulation, throughput
-# sweep, graph workloads, chaos survival, plus their sharded-engine
-# variants) and records the results as JSON in BENCH_noc.json so CI and
+# sweep, graph workloads, chaos survival — from-scratch and warm-state
+# forked — plus their sharded-engine variants) and records the results
+# as JSON in BENCH_noc.json so CI and
 # successive optimization PRs can track ns/op and allocs/op over time.
 #
 # Recorded numbers are the MINIMUM ns/op (and its B/op, allocs/op, iters)
