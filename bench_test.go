@@ -7,6 +7,7 @@
 package waferscale
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -18,6 +19,7 @@ import (
 	"waferscale/internal/geom"
 	"waferscale/internal/jtag"
 	"waferscale/internal/noc"
+	"waferscale/internal/noc/analytical"
 	"waferscale/internal/pdn"
 	"waferscale/internal/sim"
 	"waferscale/internal/substrate"
@@ -628,4 +630,90 @@ func BenchmarkDSEArraySweep(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(knee), "largestRegulatingTiles")
+}
+
+// BenchmarkAnalyticalFig7 answers the same question as
+// BenchmarkFig7PacketSim — per-pair latency statistics for 512 random
+// request/response pairs on a fault-free 16x16 mesh — through the
+// closed-form analytical model instead of stepping cycles. Compare
+// ns/op against BenchmarkFig7PacketSim for the fast path's per-point
+// advantage (the two-tier DSE screen budgets on >= 100x).
+func BenchmarkAnalyticalFig7(b *testing.B) {
+	fm := fault.NewMap(geom.NewGrid(16, 16))
+	rng := rand.New(rand.NewSource(7))
+	var avgLat float64
+	for i := 0; i < b.N; i++ {
+		m, err := analytical.New(fm, analytical.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		n := 0
+		for j := 0; j < 512; j++ {
+			src := geom.C(rng.Intn(16), rng.Intn(16))
+			dst := geom.C(rng.Intn(16), rng.Intn(16))
+			req := noc.Network(j % 2)
+			lat, ok := m.PairLatency(req, src, dst, 0.05)
+			if !ok {
+				continue
+			}
+			rsp, ok2 := m.PairLatency(req.Complement(), dst, src, 0.05)
+			if !ok2 {
+				continue
+			}
+			sum += lat + rsp
+			n++
+		}
+		avgLat = sum / float64(n)
+	}
+	b.ReportMetric(avgLat, "avgRoundTripCyc")
+}
+
+// twoTierBenchSpace is a 105-point design grid spanning the scale-up
+// question the paper's conclusion poses: how far does the fixed
+// edge-supply design scale? Sides 48-64 are infeasible at every edge
+// voltage the LDO tracks — the analytical screen discards them for
+// microseconds, while the exhaustive baseline must still pay their
+// cycle-accurate NoC probes (a side-64 mesh is 4096 tiles) to label
+// every point. That asymmetry is where the two-tier speedup lives.
+func twoTierBenchSpace() core.ParetoSpace {
+	return core.ParetoSpace{
+		Sides:   []int{8, 12, 16, 24, 48, 56, 64},
+		EdgeV:   []float64{2.0, 2.25, 2.5, 2.75, 3.0},
+		Pillars: []int{1, 2, 3},
+	}
+}
+
+// BenchmarkParetoExhaustive evaluates the 100-point space entirely with
+// the cycle-accurate engine — the baseline the two-tier run is measured
+// against.
+func BenchmarkParetoExhaustive(b *testing.B) {
+	d := core.NewDesign()
+	var frontier int
+	for i := 0; i < b.N; i++ {
+		run, err := d.ExploreParetoCtx(context.Background(), twoTierBenchSpace(), core.ParetoOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		frontier = len(run.Frontier)
+	}
+	b.ReportMetric(float64(frontier), "frontierPts")
+}
+
+// BenchmarkParetoTwoTier screens the same 100-point space analytically
+// and verifies only the survivors cycle-accurately. The verified
+// frontier is identical to the exhaustive one (asserted by
+// TestTwoTierMatchesExhaustiveFrontier); ns/op against
+// BenchmarkParetoExhaustive is the two-tier speedup (>= 10x budgeted).
+func BenchmarkParetoTwoTier(b *testing.B) {
+	d := core.NewDesign()
+	var survivors int
+	for i := 0; i < b.N; i++ {
+		run, err := d.ExploreParetoCtx(context.Background(), twoTierBenchSpace(), core.ParetoOpts{TwoTier: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		survivors = run.Survivors
+	}
+	b.ReportMetric(float64(survivors), "survivors")
 }

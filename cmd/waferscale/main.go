@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -34,6 +35,7 @@ import (
 	"waferscale/internal/geom"
 	"waferscale/internal/jtag"
 	"waferscale/internal/noc"
+	"waferscale/internal/noc/analytical"
 	"waferscale/internal/pdn"
 	"waferscale/internal/substrate"
 	"waferscale/internal/version"
@@ -316,13 +318,15 @@ func cmdRoute(args []string) error {
 func cmdDSE(args []string) error {
 	fs := flag.NewFlagSet("dse", flag.ExitOnError)
 	workers := fs.Int("workers", 0, "host goroutines for the sweeps (0 = GOMAXPROCS)")
+	model := fs.String("model", "cycle", "evaluation backend: cycle (exact) | analytical (approximate fast path)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	d := core.NewDesign()
 	d.Workers = *workers
-	fmt.Println("array-size sweep (fixed per-tile design):")
-	pts, err := d.SweepArraySize([]int{8, 16, 24, 32, 40, 48})
+	fmt.Printf("array-size sweep (fixed per-tile design; model=%s):\n", *model)
+	pts, err := d.SweepArraySizeCtx(context.Background(), []int{8, 16, 24, 32, 40, 48},
+		core.SweepOpts{Model: core.EvalModel(*model)})
 	if err != nil {
 		return err
 	}
@@ -410,21 +414,35 @@ func cmdThroughput(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	shards := fs.Int("shards", 1, "spatial shards stepping the mesh per cycle (1 = serial engine)")
 	shardWorkers := fs.Int("shard-workers", 0, "host goroutines per sharded sim (0 = min(shards, GOMAXPROCS))")
+	model := fs.String("model", "cycle", "timing backend: cycle (packet simulation) | analytical (closed-form, approximate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	grid := geom.NewGrid(*side, *side)
 	fm := fault.Random(grid, *faults, rand.New(rand.NewSource(*seed)))
 	rates := []float64{0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0}
-	tcfg := noc.DefaultThroughputConfig()
-	tcfg.Shards = *shards
-	tcfg.ShardWorkers = *shardWorkers
-	pts, err := noc.MeasureThroughput(fm, tcfg, rates)
+	var pts []noc.ThroughputPoint
+	var err error
+	switch *model {
+	case "cycle":
+		tcfg := noc.DefaultThroughputConfig()
+		tcfg.Shards = *shards
+		tcfg.ShardWorkers = *shardWorkers
+		pts, err = noc.MeasureThroughput(fm, tcfg, rates)
+	case "analytical":
+		var am *analytical.Model
+		am, err = analytical.New(fm, analytical.Config{})
+		if err == nil {
+			pts, err = am.ThroughputCurve(context.Background(), rates)
+		}
+	default:
+		return fmt.Errorf("unknown -model %q (want cycle|analytical)", *model)
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("uniform random traffic on %dx%d (%d faults); bisection bound %.3f pkt/tile/cyc\n",
-		*side, *side, *faults, noc.TheoreticalSaturation(grid))
+	fmt.Printf("uniform random traffic on %dx%d (%d faults, model=%s); bisection bound %.3f pkt/tile/cyc\n",
+		*side, *side, *faults, *model, noc.TheoreticalSaturation(grid))
 	fmt.Printf("%10s %12s %12s %14s\n", "offered", "delivered", "avg latency", "backpressured")
 	for _, p := range pts {
 		fmt.Printf("%10.3f %12.4f %11.1fcy %13.1f%%\n",
@@ -566,27 +584,53 @@ func cmdChaos(args []string) error {
 func cmdPareto(args []string) error {
 	fs := flag.NewFlagSet("pareto", flag.ExitOnError)
 	workers := fs.Int("workers", 0, "host goroutines evaluating candidates (0 = GOMAXPROCS)")
+	mode := fs.String("mode", "exact", "evaluation strategy: exact | screen (analytical, approximate) | twotier (screen then verify)")
+	topK := fs.Int("topk", core.DefaultTopK, "twotier: always verify the top K screened points per objective")
+	band := fs.Float64("band", core.DefaultBandPct, "twotier: feasibility safety band around the droop floor, % of floor voltage")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	d := core.NewDesign()
 	d.Workers = *workers
-	all, frontier, err := d.ExplorePareto(core.DefaultParetoSpace())
+	opts := core.ParetoOpts{}
+	switch *mode {
+	case "exact":
+	case "screen":
+		opts.Model = core.ModelAnalytical
+	case "twotier":
+		opts.TwoTier = true
+		opts.TopK = *topK
+		opts.BandPct = *band
+	default:
+		return fmt.Errorf("unknown -mode %q (want exact|screen|twotier)", *mode)
+	}
+	run, err := d.ExploreParetoCtx(context.Background(), core.DefaultParetoSpace(), opts)
 	if err != nil {
 		return err
 	}
 	onFrontier := map[core.DesignPoint]bool{}
-	for _, p := range frontier {
+	for _, p := range run.Frontier {
 		onFrontier[p] = true
 	}
-	fmt.Printf("%d feasible points, %d on the Pareto frontier (throughput vs power vs yield)\n",
-		len(all), len(frontier))
+	fmt.Printf("%d feasible points, %d on the Pareto frontier (throughput vs power vs yield; model=%s)\n",
+		len(run.All), len(run.Frontier), run.Model)
 	fmt.Printf("%6s %7s %8s %10s %10s %10s %9s %8s\n",
 		"side", "edge V", "pillars", "TOPS", "power W", "exp. bad", "center V", "pareto")
-	for _, p := range all {
+	for _, p := range run.All {
 		fmt.Printf("%6d %7.1f %8d %10.2f %10.0f %10.2f %9.2f %8v\n",
 			p.ArraySide, p.EdgeVolts, p.PillarsPerPad, p.ThroughputTOPS,
 			p.EdgePowerW, p.ExpectedBad, p.CenterVolt, onFrontier[p])
+	}
+	if run.TwoTier {
+		fmt.Printf("\ntwo-tier screen: %d of %d points verified cycle-accurately, %d screened out analytically\n",
+			run.Survivors, run.Survivors+run.ScreenedOut, run.ScreenedOut)
+		if me := run.ModelError; me != nil && me.Points > 0 {
+			fmt.Printf("model error over verified points: center V mean %.3f%% max %.3f%% (rank corr %.3f), "+
+				"noc latency mean %.1f%% max %.1f%% (rank corr %.3f), feasibility agreement %d/%d\n",
+				me.CenterVoltMeanPct, me.CenterVoltMaxPct, me.CenterVoltRankCorr,
+				me.NoCLatencyMeanPct, me.NoCLatencyMaxPct, me.NoCLatencyRankCorr,
+				me.FeasibilityMatches, me.Points)
+		}
 	}
 	return nil
 }

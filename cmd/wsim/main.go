@@ -23,6 +23,7 @@ import (
 	"waferscale/internal/fault"
 	"waferscale/internal/geom"
 	"waferscale/internal/inject"
+	"waferscale/internal/noc/analytical"
 	"waferscale/internal/parallel"
 	"waferscale/internal/sim"
 	"waferscale/internal/version"
@@ -48,8 +49,11 @@ func main() {
 	hostWorkers := flag.Int("host-workers", 0, "host goroutines running trials (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 1, "spatial shards stepping the wafer per cycle (1 = serial engine)")
 	shardWorkers := flag.Int("shard-workers", 0, "host goroutines per sharded machine (0 = min(shards, GOMAXPROCS))")
+	latencyModel := flag.String("latency-model", "cycle",
+		"remote-op timing backend: cycle (exact network simulation) | analytical (closed-form model; approximate timing, exact results)")
 	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	timingModel = *latencyModel
 
 	if *showVersion {
 		fmt.Println(version.String())
@@ -68,6 +72,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wsim: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// timingModel is the -latency-model selection; newWsimMachine applies
+// it to every machine the CLI builds.
+var timingModel = "cycle"
+
+// newWsimMachine builds a machine on a fresh fault map and attaches
+// the selected timing backend. The analytical backend replaces the
+// cycle-stepped network with closed-form latencies: computed results
+// stay exact, reported cycle counts are approximate and labeled.
+func newWsimMachine(cfg arch.Config) (*sim.Machine, error) {
+	fm := fault.NewMap(cfg.Grid())
+	m, err := sim.NewMachine(cfg, fm)
+	if err != nil {
+		return nil, err
+	}
+	switch timingModel {
+	case "", "cycle":
+	case "analytical":
+		model, err := analytical.New(fm, analytical.Config{})
+		if err != nil {
+			return nil, err
+		}
+		m.LatencyModel = model
+	default:
+		return nil, fmt.Errorf("unknown -latency-model %q (want cycle|analytical)", timingModel)
+	}
+	return m, nil
 }
 
 // parseCoords parses a semicolon-separated coordinate list like "1,0;2,3".
@@ -124,7 +156,7 @@ func run(workload string, side, cores, vertices, edges, workers, src int, seed, 
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	m, err := sim.NewMachine(cfg, fault.NewMap(cfg.Grid()))
+	m, err := newWsimMachine(cfg)
 	if err != nil {
 		return err
 	}
@@ -236,7 +268,7 @@ func runTrials(workload string, side, cores, vertices, edges, workers, src int, 
 		// serves them all: advance a fault-free machine to the cycle
 		// before the kills, snapshot it once, and fork per trial.
 		// Bit-identical to the from-scratch path below.
-		m0, merr := sim.NewMachine(cfg, fault.NewMap(cfg.Grid()))
+		m0, merr := newWsimMachine(cfg)
 		if merr != nil {
 			return merr
 		}
@@ -285,7 +317,7 @@ func runTrials(workload string, side, cores, vertices, edges, workers, src int, 
 		})
 	} else {
 		results, err = parallel.Map(nil, trials, hostWorkers, func(i int) (outcome, error) {
-			m, err := sim.NewMachine(cfg, fault.NewMap(cfg.Grid()))
+			m, err := newWsimMachine(cfg)
 			if err != nil {
 				return outcome{}, err
 			}

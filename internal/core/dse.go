@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -18,7 +19,9 @@ import (
 // chains multiply, or denser decap technology (deep-trench capacitors,
 // footnote 2) arrives.
 
-// ArrayPoint is one array-size design point.
+// ArrayPoint is one array-size design point. The struct stays
+// comparable (scalar fields only): the worker-invariance tests compare
+// points with ==.
 type ArrayPoint struct {
 	Tiles        int
 	Cores        int
@@ -27,6 +30,26 @@ type ArrayPoint struct {
 	CenterVolt   float64
 	RegulationOK bool
 	LoadTime     time.Duration // full load with one chain per row
+
+	// Model labels the backend that produced CenterVolt/RegulationOK
+	// and the NoC metrics ("cycle" or "analytical").
+	Model string
+	// NoCSatRate is the fault-free NoC saturation throughput
+	// (packets/tile/cycle) for this array size.
+	NoCSatRate float64
+	// NoCLatency is the average packet latency (cycles) at a moderate
+	// fixed load (probeLoadFraction of the bisection bound).
+	NoCLatency float64
+}
+
+// SweepOpts configures SweepArraySizeCtx.
+type SweepOpts struct {
+	// Model picks the evaluation backend ("" = cycle).
+	Model EvalModel
+	// Progress, when set, is called once with done=0 when the sweep
+	// starts and then after every completed side. Calls are serialized
+	// and done is strictly increasing.
+	Progress func(done, total int)
 }
 
 // SweepArraySize evaluates square arrays of the given side lengths,
@@ -37,7 +60,27 @@ type ArrayPoint struct {
 // point solves its droop map single-threaded so the sweep parallelizes
 // across points, not inside them.
 func (d *Design) SweepArraySize(sides []int) ([]ArrayPoint, error) {
-	return parallel.Map(nil, len(sides), d.Workers, func(i int) (ArrayPoint, error) {
+	return d.SweepArraySizeCtx(context.Background(), sides, SweepOpts{})
+}
+
+// SweepArraySizeCtx is the context-aware, model-selectable array sweep
+// with a progress hook. The analytical backend replaces the SOR droop
+// solve with the spectral closed form and the cycle-accurate NoC probe
+// with the queueing model, labeling every point with the backend used.
+func (d *Design) SweepArraySizeCtx(ctx context.Context, sides []int, opts SweepOpts) ([]ArrayPoint, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	model, err := opts.Model.normalized()
+	if err != nil {
+		return nil, err
+	}
+	var tick func()
+	if opts.Progress != nil {
+		p := opts.Progress
+		tick = progressTicker(func(_ string, done, total int) { p(done, total) }, "sweep", len(sides))
+	}
+	return parallel.Map(ctx, len(sides), d.Workers, func(i int) (ArrayPoint, error) {
 		n := sides[i]
 		cfg := d.Cfg
 		cfg.TilesX, cfg.TilesY = n, n
@@ -45,32 +88,57 @@ func (d *Design) SweepArraySize(sides []int) ([]ArrayPoint, error) {
 		if err := cfg.Validate(); err != nil {
 			return ArrayPoint{}, fmt.Errorf("core: side %d: %w", n, err)
 		}
-		sol, err := pdn.Solve(pdn.Config{
+		pdnCfg := pdn.Config{
 			Grid:         cfg.Grid(),
 			EdgeVolts:    cfg.EdgeSupplyVolts,
 			TileCurrentA: cfg.PeakTilePowerW / cfg.FastCornerVolts,
 			SheetOhm:     d.SheetOhm,
 			Serial:       true, // outer loop owns the pool
-		})
-		if err != nil {
-			return ArrayPoint{}, err
 		}
-		min, _ := sol.MinVolt()
-		reg := pdn.CheckRegulation(sol, d.LDO, cfg.PeakTilePowerW)
+		var minV float64
+		var regOK bool
+		switch model {
+		case ModelAnalytical:
+			est, err := pdn.EstimateDroop(pdnCfg)
+			if err != nil {
+				return ArrayPoint{}, err
+			}
+			minV = est.MinVolt
+			regOK = minV >= d.LDO.MinOutV+d.LDO.DropoutV
+		default:
+			sol, err := pdn.Solve(pdnCfg)
+			if err != nil {
+				return ArrayPoint{}, err
+			}
+			minV, _ = sol.MinVolt()
+			reg := pdn.CheckRegulation(sol, d.LDO, cfg.PeakTilePowerW)
+			regOK = reg.TilesOutOfRange == 0
+		}
+		probe, err := probeNoC(ctx, n, model)
+		if err != nil {
+			return ArrayPoint{}, fmt.Errorf("core: side %d noc probe: %w", n, err)
+		}
 		perTileBytes := cfg.CoresPerTile*cfg.PrivateMemPerCore + cfg.SharedBanksPerTile*cfg.BankBytes
 		lt, err := jtag.DefaultLoadModel().LoadTime(cfg.Tiles(), cfg.JTAGChains, perTileBytes/4, false)
 		if err != nil {
 			return ArrayPoint{}, err
 		}
-		return ArrayPoint{
+		pt := ArrayPoint{
 			Tiles:        cfg.Tiles(),
 			Cores:        cfg.TotalCores(),
 			ThroughputT:  cfg.ComputeThroughputOPS() / 1e12,
 			EdgeCurrentA: cfg.PeakWaferCurrentA(),
-			CenterVolt:   min,
-			RegulationOK: reg.TilesOutOfRange == 0,
+			CenterVolt:   minV,
+			RegulationOK: regOK,
 			LoadTime:     lt,
-		}, nil
+			Model:        string(model),
+			NoCSatRate:   probe.satRate,
+			NoCLatency:   probe.latency,
+		}
+		if tick != nil {
+			tick()
+		}
+		return pt, nil
 	})
 }
 
@@ -158,12 +226,12 @@ func (d *Design) SweepDecapTech() []DecapPoint {
 // FormatArraySweep renders an array-size sweep.
 func FormatArraySweep(points []ArrayPoint) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%8s %8s %8s %10s %10s %7s %12s\n",
-		"tiles", "cores", "TOPS", "edge A", "center V", "reg ok", "load time")
+	fmt.Fprintf(&b, "%8s %8s %8s %10s %10s %7s %9s %9s %12s\n",
+		"tiles", "cores", "TOPS", "edge A", "center V", "reg ok", "noc sat", "noc lat", "load time")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%8d %8d %8.2f %10.1f %10.3f %7v %12v\n",
+		fmt.Fprintf(&b, "%8d %8d %8.2f %10.1f %10.3f %7v %9.4f %9.1f %12v\n",
 			p.Tiles, p.Cores, p.ThroughputT, p.EdgeCurrentA, p.CenterVolt,
-			p.RegulationOK, p.LoadTime.Round(time.Second))
+			p.RegulationOK, p.NoCSatRate, p.NoCLatency, p.LoadTime.Round(time.Second))
 	}
 	return b.String()
 }

@@ -1,11 +1,9 @@
 package core
 
 import (
-	"fmt"
-	"sort"
+	"context"
 
 	"waferscale/internal/chipio"
-	"waferscale/internal/parallel"
 	"waferscale/internal/pdn"
 )
 
@@ -17,7 +15,9 @@ import (
 // chiplets down). It rejects points that fail hard constraints (LDO
 // regulation across the droop map).
 
-// DesignPoint is one evaluated candidate.
+// DesignPoint is one evaluated candidate. The struct stays comparable
+// (scalar fields only): callers use points as map keys and compare them
+// with ==.
 type DesignPoint struct {
 	ArraySide     int
 	EdgeVolts     float64
@@ -28,6 +28,18 @@ type DesignPoint struct {
 	ExpectedBad    float64 // expected faulty chiplets from bonding
 	CenterVolt     float64
 	Feasible       bool // regulation holds everywhere
+
+	// Model labels the backend that produced CenterVolt/Feasible and the
+	// NoC metrics: "cycle" (SOR droop + packet simulator) or
+	// "analytical" (spectral droop + closed-form NoC model). Approximate
+	// and exact evaluations are never conflated.
+	Model string
+	// NoCSatRate is the fault-free NoC saturation throughput
+	// (packets/tile/cycle) for this array size, from the Model backend.
+	NoCSatRate float64
+	// NoCLatency is the average packet latency (cycles) at a moderate
+	// fixed load (probeLoadFraction of the bisection bound).
+	NoCLatency float64
 }
 
 // dominates reports whether a is at least as good as b on every
@@ -58,62 +70,22 @@ func DefaultParetoSpace() ParetoSpace {
 	}
 }
 
-// ExplorePareto evaluates the grid and returns all feasible points plus
-// the Pareto-optimal subset (both sorted by throughput). Candidates are
-// evaluated on the shared bounded pool (d.Workers goroutines,
-// 0 = GOMAXPROCS); each point's droop solve runs single-threaded so
-// the sweep parallelizes across candidates.
+// ExplorePareto evaluates the grid exhaustively with the cycle-accurate
+// backend and returns all feasible points plus the Pareto-optimal
+// subset (both sorted by throughput). Candidates are evaluated on the
+// shared bounded pool (d.Workers goroutines, 0 = GOMAXPROCS); each
+// point's droop solve runs single-threaded so the sweep parallelizes
+// across candidates. ExploreParetoCtx adds cancellation, progress
+// hooks, backend selection and the two-tier screen/verify mode.
 func (d *Design) ExplorePareto(space ParetoSpace) (all, frontier []DesignPoint, err error) {
-	type combo struct {
-		side    int
-		edgeV   float64
-		pillars int
-	}
-	var combos []combo
-	for _, side := range space.Sides {
-		for _, ev := range space.EdgeV {
-			for _, pp := range space.Pillars {
-				combos = append(combos, combo{side, ev, pp})
-			}
-		}
-	}
-	pts, err := parallel.Map(nil, len(combos), d.Workers, func(i int) (DesignPoint, error) {
-		c := combos[i]
-		pt, err := d.evaluatePoint(c.side, c.edgeV, c.pillars)
-		if err != nil {
-			return DesignPoint{}, fmt.Errorf("core: point (%d,%.1fV,%dp): %w", c.side, c.edgeV, c.pillars, err)
-		}
-		return pt, nil
-	})
+	run, err := d.ExploreParetoCtx(context.Background(), space, ParetoOpts{})
 	if err != nil {
 		return nil, nil, err
 	}
-	for _, pt := range pts {
-		if pt.Feasible {
-			all = append(all, pt)
-		}
-	}
-	for _, p := range all {
-		dominated := false
-		for _, q := range all {
-			if dominates(q, p) {
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
-			frontier = append(frontier, p)
-		}
-	}
-	byThroughput := func(s []DesignPoint) {
-		sort.Slice(s, func(i, j int) bool { return s[i].ThroughputTOPS < s[j].ThroughputTOPS })
-	}
-	byThroughput(all)
-	byThroughput(frontier)
-	return all, frontier, nil
+	return run.All, run.Frontier, nil
 }
 
-func (d *Design) evaluatePoint(side int, edgeV float64, pillars int) (DesignPoint, error) {
+func (d *Design) evaluatePoint(side int, edgeV float64, pillars int, model EvalModel, probe nocProbe) (DesignPoint, error) {
 	cfg := d.Cfg
 	cfg.TilesX, cfg.TilesY = side, side
 	cfg.JTAGChains = side
@@ -127,6 +99,9 @@ func (d *Design) evaluatePoint(side int, edgeV float64, pillars int) (DesignPoin
 		PillarsPerPad:  pillars,
 		ThroughputTOPS: cfg.ComputeThroughputOPS() / 1e12,
 		EdgePowerW:     cfg.PeakWaferCurrentA() * edgeV,
+		Model:          string(model),
+		NoCSatRate:     probe.satRate,
+		NoCLatency:     probe.latency,
 	}
 	bond := chipio.BondConfig{
 		PillarYield:    d.PillarYield,
@@ -135,21 +110,35 @@ func (d *Design) evaluatePoint(side int, edgeV float64, pillars int) (DesignPoin
 	}
 	pt.ExpectedBad = bond.ExpectedFaultyChiplets(cfg.Chiplets())
 
-	sol, err := pdn.Solve(pdn.Config{
+	pdnCfg := pdn.Config{
 		Grid:         cfg.Grid(),
 		EdgeVolts:    edgeV,
 		TileCurrentA: cfg.PeakTilePowerW / cfg.FastCornerVolts,
 		SheetOhm:     d.SheetOhm,
 		Serial:       true, // outer loop owns the pool
-	})
-	if err != nil {
-		return DesignPoint{}, err
 	}
-	pt.CenterVolt, _ = sol.MinVolt()
 	// Feasibility: the LDO must regulate at every tile. A higher edge
 	// voltage extends droop headroom but must stay within the LDO's
-	// tracked input range at the edge tiles too.
-	rep := pdn.CheckRegulation(sol, d.LDO, cfg.PeakTilePowerW)
-	pt.Feasible = rep.TilesOutOfRange == 0 && edgeV <= d.LDO.MaxInV+0.5001
+	// tracked input range at the edge tiles too. Out-of-range tiles are
+	// exactly those whose input drops below MinOutV+DropoutV, so the
+	// analytical tier checks the closed-form minimum against that floor.
+	switch model {
+	case ModelAnalytical:
+		est, err := pdn.EstimateDroop(pdnCfg)
+		if err != nil {
+			return DesignPoint{}, err
+		}
+		pt.CenterVolt = est.MinVolt
+		floor := d.LDO.MinOutV + d.LDO.DropoutV
+		pt.Feasible = est.MinVolt >= floor && edgeV <= d.LDO.MaxInV+0.5001
+	default:
+		sol, err := pdn.Solve(pdnCfg)
+		if err != nil {
+			return DesignPoint{}, err
+		}
+		pt.CenterVolt, _ = sol.MinVolt()
+		rep := pdn.CheckRegulation(sol, d.LDO, cfg.PeakTilePowerW)
+		pt.Feasible = rep.TilesOutOfRange == 0 && edgeV <= d.LDO.MaxInV+0.5001
+	}
 	return pt, nil
 }

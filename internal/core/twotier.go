@@ -1,0 +1,481 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"waferscale/internal/fault"
+	"waferscale/internal/geom"
+	"waferscale/internal/noc"
+	"waferscale/internal/noc/analytical"
+	"waferscale/internal/parallel"
+)
+
+// Two-tier design-space exploration: the cycle-accurate flow is the
+// oracle, but it prices every candidate at a full SOR droop solve plus
+// packet-simulator probes. The analytical fast path (pdn.EstimateDroop,
+// noc/analytical) answers the same questions in closed form, ~100x
+// cheaper, so a hierarchical run screens the whole space approximately,
+// keeps only the candidates that could plausibly reach the frontier,
+// and re-evaluates just those with the exact models. Approximate and
+// exact results are never conflated: every DesignPoint carries the
+// backend in Model, and the serve layer keys them as different specs.
+
+// EvalModel selects the evaluation backend for a sweep.
+type EvalModel string
+
+const (
+	// ModelCycle is the exact tier: SOR droop solves and cycle-accurate
+	// NoC probes.
+	ModelCycle EvalModel = noc.ModelNameCycle
+	// ModelAnalytical is the fast tier: spectral droop estimates and the
+	// closed-form NoC timing model.
+	ModelAnalytical EvalModel = noc.ModelNameAnalytical
+)
+
+func (m EvalModel) normalized() (EvalModel, error) {
+	switch m {
+	case "", ModelCycle:
+		return ModelCycle, nil
+	case ModelAnalytical:
+		return ModelAnalytical, nil
+	}
+	return "", fmt.Errorf("core: unknown eval model %q (want %q or %q)",
+		string(m), noc.ModelNameCycle, noc.ModelNameAnalytical)
+}
+
+// probeLoadFraction is the fraction of the theoretical bisection bound
+// the NoC latency probe loads the network at. It is model-independent
+// (so the two tiers answer the same question) and sits below both the
+// cycle engine's measured plateau (~0.71 of the bound) and the
+// analytical model's derated capacity (0.75), keeping the probe in the
+// stable region of the latency-throughput curve.
+const probeLoadFraction = 0.4
+
+// nocProbe is the per-design-point NoC characterization both tiers
+// attach to their results: saturation throughput and average latency
+// at a fixed moderate load.
+type nocProbe struct {
+	satRate float64
+	latency float64
+}
+
+func probeNoC(ctx context.Context, side int, model EvalModel) (nocProbe, error) {
+	g := geom.NewGrid(side, side)
+	fm := fault.NewMap(g)
+	var lm noc.LatencyModel
+	switch model {
+	case ModelAnalytical:
+		m, err := analytical.New(fm, analytical.Config{})
+		if err != nil {
+			return nocProbe{}, err
+		}
+		lm = m
+	default:
+		lm = &noc.CycleModel{FM: fm, Cfg: noc.ProbeThroughputConfig()}
+	}
+	rate := probeLoadFraction * noc.TheoreticalSaturation(g)
+	pts, err := lm.ThroughputCurve(ctx, []float64{rate})
+	if err != nil {
+		return nocProbe{}, err
+	}
+	return nocProbe{satRate: lm.SaturationRate(), latency: pts[0].AvgLatency}, nil
+}
+
+// Defaults for the two-tier survivor selection.
+const (
+	// DefaultTopK candidates per objective are kept regardless of
+	// domination, as insurance against model error in the ordering.
+	DefaultTopK = 2
+	// DefaultBandPct is the feasibility safety band around the LDO
+	// floor, in percent of the floor voltage. The spectral droop
+	// estimate agrees with SOR to ~1e-4 V, so the default 5% band
+	// (~60 mV) is three orders of magnitude wider than the model error.
+	DefaultBandPct = 5.0
+)
+
+// ParetoOpts configures ExploreParetoCtx.
+type ParetoOpts struct {
+	// Model picks the backend for a single-tier run ("" = cycle).
+	// Ignored when TwoTier is set.
+	Model EvalModel
+	// TwoTier screens the full space with the analytical model and
+	// verifies only the surviving candidates with the cycle backend.
+	TwoTier bool
+	// TopK is the per-objective insurance count (0 = DefaultTopK).
+	TopK int
+	// BandPct is the feasibility band in percent of the LDO floor
+	// voltage (0 = DefaultBandPct).
+	BandPct float64
+	// Progress, when set, is called as evaluation advances: once with
+	// done=0 when a stage starts, then after every completed point.
+	// Stages are "evaluate" (single-tier) or "screen"/"verify"
+	// (two-tier). It may be called from multiple goroutines but calls
+	// are serialized and done is strictly increasing within a stage.
+	Progress func(stage string, done, total int)
+}
+
+// PointError is the per-survivor screen-vs-verified comparison.
+type PointError struct {
+	ArraySide     int
+	EdgeVolts     float64
+	PillarsPerPad int
+
+	CenterVoltPct float64 // relative error, percent
+	NoCSatPct     float64
+	NoCLatencyPct float64
+	FeasibleMatch bool
+}
+
+// ModelErrorReport quantifies how well the analytical screen tracked
+// the cycle-accurate verdicts over the verified survivors.
+type ModelErrorReport struct {
+	Points int
+
+	CenterVoltMeanPct float64
+	CenterVoltMaxPct  float64
+	NoCSatMeanPct     float64
+	NoCSatMaxPct      float64
+	NoCLatencyMeanPct float64
+	NoCLatencyMaxPct  float64
+
+	// Spearman rank correlations of the screen ordering against the
+	// verified ordering (1 for fewer than two points).
+	CenterVoltRankCorr float64
+	NoCLatencyRankCorr float64
+
+	FeasibilityMatches int
+	PerPoint           []PointError
+}
+
+// ParetoRun is the result of ExploreParetoCtx.
+type ParetoRun struct {
+	// Model labels the backend the All/Frontier points were evaluated
+	// with ("cycle" for two-tier runs: the frontier is always verified).
+	Model   string
+	TwoTier bool
+
+	// All and Frontier are the feasible points and the Pareto-optimal
+	// subset, sorted by throughput. For two-tier runs All covers only
+	// the verified survivors; the frontier is provably the same as an
+	// exhaustive run's as long as the screen's feasibility error stays
+	// inside the band.
+	All      []DesignPoint
+	Frontier []DesignPoint
+
+	// Screened holds the analytical evaluation of the full grid
+	// (two-tier only), in enumeration order, including infeasible
+	// points. Every entry carries Model "analytical".
+	Screened []DesignPoint
+
+	// Survivors and ScreenedOut count the second-tier workload saved.
+	Survivors   int
+	ScreenedOut int
+
+	// ModelError compares screen vs verified values over the survivors
+	// (two-tier only).
+	ModelError *ModelErrorReport
+}
+
+type paretoCombo struct {
+	side    int
+	edgeV   float64
+	pillars int
+}
+
+func enumerateSpace(space ParetoSpace) []paretoCombo {
+	var combos []paretoCombo
+	for _, side := range space.Sides {
+		for _, ev := range space.EdgeV {
+			for _, pp := range space.Pillars {
+				combos = append(combos, paretoCombo{side, ev, pp})
+			}
+		}
+	}
+	return combos
+}
+
+// progressTicker serializes a Progress callback into a per-completion
+// tick. Returns nil when progress is nil.
+func progressTicker(progress func(stage string, done, total int), stage string, total int) func() {
+	if progress == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	done := 0
+	progress(stage, 0, total)
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		progress(stage, done, total)
+	}
+}
+
+// evalCombos evaluates the combos with the given backend on the shared
+// pool. The NoC probe depends only on the array side, so probes run
+// once per distinct side, then the per-combo droop evaluations fan out.
+func (d *Design) evalCombos(ctx context.Context, combos []paretoCombo, model EvalModel, tick func()) ([]DesignPoint, error) {
+	seen := map[int]bool{}
+	var sides []int
+	for _, c := range combos {
+		if !seen[c.side] {
+			seen[c.side] = true
+			sides = append(sides, c.side)
+		}
+	}
+	sort.Ints(sides)
+	probeVals, err := parallel.Map(ctx, len(sides), d.Workers, func(i int) (nocProbe, error) {
+		p, err := probeNoC(ctx, sides[i], model)
+		if err != nil {
+			return nocProbe{}, fmt.Errorf("core: noc probe side %d (%s): %w", sides[i], model, err)
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	probes := make(map[int]nocProbe, len(sides))
+	for i, s := range sides {
+		probes[s] = probeVals[i]
+	}
+	return parallel.Map(ctx, len(combos), d.Workers, func(i int) (DesignPoint, error) {
+		c := combos[i]
+		pt, err := d.evaluatePoint(c.side, c.edgeV, c.pillars, model, probes[c.side])
+		if err != nil {
+			return DesignPoint{}, fmt.Errorf("core: point (%d,%.1fV,%dp): %w", c.side, c.edgeV, c.pillars, err)
+		}
+		if tick != nil {
+			tick()
+		}
+		return pt, nil
+	})
+}
+
+// ExploreParetoCtx is the context-aware, model-selectable Pareto
+// exploration. With opts.TwoTier it screens the full space with the
+// analytical fast path and verifies only the survivors with the cycle
+// backend; otherwise it evaluates every point with opts.Model.
+func (d *Design) ExploreParetoCtx(ctx context.Context, space ParetoSpace, opts ParetoOpts) (*ParetoRun, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	combos := enumerateSpace(space)
+	if len(combos) == 0 {
+		return nil, fmt.Errorf("core: empty pareto space")
+	}
+	if opts.TwoTier {
+		return d.exploreTwoTier(ctx, combos, opts)
+	}
+	model, err := opts.Model.normalized()
+	if err != nil {
+		return nil, err
+	}
+	pts, err := d.evalCombos(ctx, combos, model, progressTicker(opts.Progress, "evaluate", len(combos)))
+	if err != nil {
+		return nil, err
+	}
+	all, frontier := feasibleFrontier(pts)
+	return &ParetoRun{Model: string(model), All: all, Frontier: frontier}, nil
+}
+
+func (d *Design) exploreTwoTier(ctx context.Context, combos []paretoCombo, opts ParetoOpts) (*ParetoRun, error) {
+	topK := opts.TopK
+	if topK <= 0 {
+		topK = DefaultTopK
+	}
+	bandPct := opts.BandPct
+	if bandPct <= 0 {
+		bandPct = DefaultBandPct
+	}
+	floor := d.LDO.MinOutV + d.LDO.DropoutV
+	bandV := floor * bandPct / 100
+
+	screened, err := d.evalCombos(ctx, combos, ModelAnalytical, progressTicker(opts.Progress, "screen", len(combos)))
+	if err != nil {
+		return nil, err
+	}
+	surv := d.selectSurvivors(screened, floor, bandV, topK)
+	verifyCombos := make([]paretoCombo, len(surv))
+	for i, idx := range surv {
+		verifyCombos[i] = combos[idx]
+	}
+	verified, err := d.evalCombos(ctx, verifyCombos, ModelCycle, progressTicker(opts.Progress, "verify", len(verifyCombos)))
+	if err != nil {
+		return nil, err
+	}
+	all, frontier := feasibleFrontier(verified)
+	return &ParetoRun{
+		Model:       string(ModelCycle),
+		TwoTier:     true,
+		All:         all,
+		Frontier:    frontier,
+		Screened:    screened,
+		Survivors:   len(surv),
+		ScreenedOut: len(combos) - len(surv),
+		ModelError:  buildErrorReport(screened, surv, verified),
+	}, nil
+}
+
+// selectSurvivors returns the indices of screened points worth an exact
+// evaluation, sorted ascending. A point survives when it is not
+// dominated by any confidently-feasible point (screen margin above the
+// band), or when its feasibility is borderline (within the band of the
+// LDO floor), plus a top-K insurance slice per objective. Objectives
+// are exact arithmetic in both tiers, so domination transfers: a point
+// dominated by a confident survivor cannot reach the verified frontier.
+func (d *Design) selectSurvivors(screened []DesignPoint, floor, bandV float64, topK int) []int {
+	var confident, candidates []int
+	for i, p := range screened {
+		// The edge-voltage bound is exact arithmetic, identical in both
+		// tiers: no band needed.
+		if p.EdgeVolts > d.LDO.MaxInV+0.5001 {
+			continue
+		}
+		if p.CenterVolt >= floor+bandV {
+			confident = append(confident, i)
+		}
+		if p.CenterVolt >= floor-bandV {
+			candidates = append(candidates, i)
+		}
+	}
+	keep := make(map[int]bool)
+	for _, i := range candidates {
+		dominated := false
+		for _, j := range confident {
+			if dominates(screened[j], screened[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			keep[i] = true
+		}
+	}
+	objectives := []func(a, b DesignPoint) bool{
+		func(a, b DesignPoint) bool { return a.ThroughputTOPS > b.ThroughputTOPS },
+		func(a, b DesignPoint) bool { return a.EdgePowerW < b.EdgePowerW },
+		func(a, b DesignPoint) bool { return a.ExpectedBad < b.ExpectedBad },
+	}
+	for _, better := range objectives {
+		order := append([]int(nil), candidates...)
+		sort.SliceStable(order, func(x, y int) bool { return better(screened[order[x]], screened[order[y]]) })
+		for k := 0; k < topK && k < len(order); k++ {
+			keep[order[k]] = true
+		}
+	}
+	out := make([]int, 0, len(keep))
+	for i := range keep {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func buildErrorReport(screened []DesignPoint, surv []int, verified []DesignPoint) *ModelErrorReport {
+	rep := &ModelErrorReport{Points: len(surv)}
+	if len(surv) == 0 {
+		return rep
+	}
+	relPct := func(model, exact float64) float64 {
+		if exact == 0 {
+			return 100 * math.Abs(model)
+		}
+		return 100 * math.Abs(model-exact) / math.Abs(exact)
+	}
+	var screenVolt, exactVolt, screenLat, exactLat []float64
+	var voltSum, satSum, latSum float64
+	for k, idx := range surv {
+		s, v := screened[idx], verified[k]
+		pe := PointError{
+			ArraySide:     v.ArraySide,
+			EdgeVolts:     v.EdgeVolts,
+			PillarsPerPad: v.PillarsPerPad,
+			CenterVoltPct: relPct(s.CenterVolt, v.CenterVolt),
+			NoCSatPct:     relPct(s.NoCSatRate, v.NoCSatRate),
+			NoCLatencyPct: relPct(s.NoCLatency, v.NoCLatency),
+			FeasibleMatch: s.Feasible == v.Feasible,
+		}
+		if pe.FeasibleMatch {
+			rep.FeasibilityMatches++
+		}
+		rep.PerPoint = append(rep.PerPoint, pe)
+		voltSum += pe.CenterVoltPct
+		satSum += pe.NoCSatPct
+		latSum += pe.NoCLatencyPct
+		rep.CenterVoltMaxPct = math.Max(rep.CenterVoltMaxPct, pe.CenterVoltPct)
+		rep.NoCSatMaxPct = math.Max(rep.NoCSatMaxPct, pe.NoCSatPct)
+		rep.NoCLatencyMaxPct = math.Max(rep.NoCLatencyMaxPct, pe.NoCLatencyPct)
+		screenVolt = append(screenVolt, s.CenterVolt)
+		exactVolt = append(exactVolt, v.CenterVolt)
+		screenLat = append(screenLat, s.NoCLatency)
+		exactLat = append(exactLat, v.NoCLatency)
+	}
+	n := float64(len(surv))
+	rep.CenterVoltMeanPct = voltSum / n
+	rep.NoCSatMeanPct = satSum / n
+	rep.NoCLatencyMeanPct = latSum / n
+	rep.CenterVoltRankCorr = spearmanRank(screenVolt, exactVolt)
+	rep.NoCLatencyRankCorr = spearmanRank(screenLat, exactLat)
+	return rep
+}
+
+// spearmanRank computes the Spearman rank correlation of two
+// equal-length samples (ties broken by index; 1 for fewer than two
+// points).
+func spearmanRank(a, b []float64) float64 {
+	if len(a) < 2 {
+		return 1
+	}
+	rank := func(v []float64) []float64 {
+		idx := make([]int, len(v))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(i, j int) bool { return v[idx[i]] < v[idx[j]] })
+		r := make([]float64, len(v))
+		for pos, i := range idx {
+			r[i] = float64(pos)
+		}
+		return r
+	}
+	ra, rb := rank(a), rank(b)
+	n := float64(len(a))
+	var d2 float64
+	for i := range ra {
+		d := ra[i] - rb[i]
+		d2 += d * d
+	}
+	return 1 - 6*d2/(n*(n*n-1))
+}
+
+// feasibleFrontier filters the feasible points and extracts the
+// Pareto-optimal subset, both sorted by throughput.
+func feasibleFrontier(pts []DesignPoint) (all, frontier []DesignPoint) {
+	for _, pt := range pts {
+		if pt.Feasible {
+			all = append(all, pt)
+		}
+	}
+	for _, p := range all {
+		dominated := false
+		for _, q := range all {
+			if dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			frontier = append(frontier, p)
+		}
+	}
+	byThroughput := func(s []DesignPoint) {
+		sort.Slice(s, func(i, j int) bool { return s[i].ThroughputTOPS < s[j].ThroughputTOPS })
+	}
+	byThroughput(all)
+	byThroughput(frontier)
+	return all, frontier
+}

@@ -95,6 +95,31 @@ func (m *Map) HealthyCoords() []geom.Coord {
 	return out
 }
 
+// RowHealthy returns the number of healthy tiles in each row (indexed
+// by Y). The analytical NoC timing model builds its per-link traffic
+// marginals from these row/column healthy counts.
+func (m *Map) RowHealthy() []int {
+	out := make([]int, m.grid.H)
+	for i, f := range m.faulty {
+		if !f {
+			out[i/m.grid.W]++
+		}
+	}
+	return out
+}
+
+// ColumnHealthy returns the number of healthy tiles in each column
+// (indexed by X).
+func (m *Map) ColumnHealthy() []int {
+	out := make([]int, m.grid.W)
+	for i, f := range m.faulty {
+		if !f {
+			out[i%m.grid.W]++
+		}
+	}
+	return out
+}
+
 // Clone returns an independent copy of the map.
 func (m *Map) Clone() *Map {
 	c := &Map{grid: m.grid, faulty: make([]bool, len(m.faulty)), count: m.count}

@@ -1,0 +1,190 @@
+package analytical
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"waferscale/internal/fault"
+	"waferscale/internal/geom"
+	"waferscale/internal/noc"
+)
+
+// Accuracy validation of the analytical fast path against the
+// cycle-accurate engine — the oracle contract of ROADMAP item 5. The
+// configurations are pinned (the Fig. 7 16x16 array, fault-free and
+// with a seeded fault map) and every tolerance below is a documented
+// model-error budget, not an exact-equality claim:
+//
+//   - delivered throughput below saturation: <= 10% relative error
+//     (the cycle engine loses a little offered traffic to injection
+//     backpressure even below the bisection bound);
+//   - average latency below ~60% of saturation: <= 25% relative error
+//     (the M/D/1 waits ignore switch-allocation round-robin effects
+//     and FIFO-depth ceilings);
+//   - saturation throughput: <= 25% relative error against the
+//     measured plateau;
+//   - pair-latency ordering under load: Spearman rank correlation
+//     >= 0.8 (the screen tier only needs ordering, not values).
+//
+// Anything tighter should come from making the model better, not from
+// loosening the window; anything looser must be justified here.
+
+const (
+	tolDelivered = 0.10
+	tolLatency   = 0.25
+	tolSat       = 0.25
+	minRankCorr  = 0.80
+)
+
+func relErr(model, exact float64) float64 {
+	if exact == 0 {
+		return math.Abs(model)
+	}
+	return math.Abs(model-exact) / math.Abs(exact)
+}
+
+// spearman computes the rank correlation of two equal-length samples.
+func spearman(a, b []float64) float64 {
+	rank := func(v []float64) []float64 {
+		idx := make([]int, len(v))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(i, j int) bool { return v[idx[i]] < v[idx[j]] })
+		r := make([]float64, len(v))
+		for pos, i := range idx {
+			r[i] = float64(pos)
+		}
+		return r
+	}
+	ra, rb := rank(a), rank(b)
+	n := float64(len(a))
+	var d2 float64
+	for i := range ra {
+		d := ra[i] - rb[i]
+		d2 += d * d
+	}
+	return 1 - 6*d2/(n*(n*n-1))
+}
+
+func fig7Maps(t *testing.T) map[string]*fault.Map {
+	t.Helper()
+	g := geom.NewGrid(16, 16)
+	return map[string]*fault.Map{
+		"fault-free": fault.NewMap(g),
+		"8-faults":   fault.Random(g, 8, rand.New(rand.NewSource(2021))),
+	}
+}
+
+// Latency-throughput curves: the analytical sweep must track the
+// measured curve point-by-point below saturation.
+func TestAccuracyThroughputCurve(t *testing.T) {
+	for name, fm := range fig7Maps(t) {
+		t.Run(name, func(t *testing.T) {
+			model := mustModel(t, fm)
+			cycle := noc.NewCycleModel(fm)
+			sat := model.SaturationRate()
+			rates := []float64{0.1 * sat, 0.3 * sat, 0.6 * sat}
+			mpts, err := model.ThroughputCurve(context.Background(), rates)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cpts, err := cycle.ThroughputCurve(context.Background(), rates)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range rates {
+				if e := relErr(mpts[i].DeliveredRate, cpts[i].DeliveredRate); e > tolDelivered {
+					t.Errorf("rate %.3f: delivered model %.4f vs cycle %.4f (rel %.3f > %.2f)",
+						rates[i], mpts[i].DeliveredRate, cpts[i].DeliveredRate, e, tolDelivered)
+				}
+				if e := relErr(mpts[i].AvgLatency, cpts[i].AvgLatency); e > tolLatency {
+					t.Errorf("rate %.3f: latency model %.2f vs cycle %.2f (rel %.3f > %.2f)",
+						rates[i], mpts[i].AvgLatency, cpts[i].AvgLatency, e, tolLatency)
+				}
+			}
+		})
+	}
+}
+
+// Saturation throughput: closed-form capacity vs the measured
+// delivered-rate plateau.
+func TestAccuracySaturation(t *testing.T) {
+	for name, fm := range fig7Maps(t) {
+		t.Run(name, func(t *testing.T) {
+			model := mustModel(t, fm)
+			cycle := noc.NewCycleModel(fm)
+			// The plateau delivers only the reachable fraction of the
+			// capacity the hottest link admits; compare like with like.
+			analytic := model.SaturationRate() * model.ReachableFraction()
+			measured := cycle.SaturationRate()
+			if e := relErr(analytic, measured); e > tolSat {
+				t.Errorf("saturation: model %.4f vs measured plateau %.4f (rel %.3f > %.2f)",
+					analytic, measured, e, tolSat)
+			}
+		})
+	}
+}
+
+// Zero-load pair latency: with no background traffic the cycle engine
+// is deterministic and the model must match it exactly, including on
+// a faulted map (clear pairs) and in its blocked-pair verdicts.
+func TestAccuracyZeroLoadPairsExact(t *testing.T) {
+	for name, fm := range fig7Maps(t) {
+		t.Run(name, func(t *testing.T) {
+			model := mustModel(t, fm)
+			cycle := &noc.CycleModel{FM: fm, Cfg: noc.ProbeThroughputConfig(), ProbePackets: 1}
+			healthy := fm.HealthyCoords()
+			rng := rand.New(rand.NewSource(42))
+			for i := 0; i < 24; i++ {
+				src := healthy[rng.Intn(len(healthy))]
+				dst := healthy[rng.Intn(len(healthy))]
+				if src == dst {
+					continue
+				}
+				net := noc.Network(i % 2)
+				mlat, mok := model.PairLatency(net, src, dst, 0)
+				clat, cok := cycle.PairLatency(net, src, dst, 0)
+				if mok != cok {
+					t.Fatalf("%v %v->%v: model ok=%v cycle ok=%v", net, src, dst, mok, cok)
+				}
+				if mok && mlat != clat {
+					t.Errorf("%v %v->%v: zero-load model %.1f vs cycle %.1f", net, src, dst, mlat, clat)
+				}
+			}
+		})
+	}
+}
+
+// Pair-latency ordering under load: the two-tier screen ranks design
+// points by modeled latency, so the ordering — not the absolute value
+// — is the contract. Sampled over pairs of spread-out distances at a
+// moderate background load.
+func TestAccuracyPairRankCorrelation(t *testing.T) {
+	fm := fault.NewMap(geom.NewGrid(16, 16))
+	model := mustModel(t, fm)
+	cycle := &noc.CycleModel{FM: fm, Cfg: noc.ProbeThroughputConfig()}
+	rate := 0.4 * model.SaturationRate()
+	rng := rand.New(rand.NewSource(9))
+	var ml, cl []float64
+	for len(ml) < 16 {
+		src := geom.C(rng.Intn(16), rng.Intn(16))
+		dst := geom.C(rng.Intn(16), rng.Intn(16))
+		if src == dst {
+			continue
+		}
+		mlat, mok := model.PairLatency(noc.XY, src, dst, rate)
+		clat, cok := cycle.PairLatency(noc.XY, src, dst, rate)
+		if !mok || !cok {
+			t.Fatalf("fault-free pair %v->%v blocked (model %v cycle %v)", src, dst, mok, cok)
+		}
+		ml = append(ml, mlat)
+		cl = append(cl, clat)
+	}
+	if rho := spearman(ml, cl); rho < minRankCorr {
+		t.Errorf("pair-latency rank correlation %.3f < %.2f\nmodel: %v\ncycle: %v", rho, minRankCorr, ml, cl)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"waferscale/internal/fault"
 	"waferscale/internal/geom"
 	"waferscale/internal/noc"
+	"waferscale/internal/noc/analytical"
 	"waferscale/internal/pdn"
 )
 
@@ -164,16 +165,32 @@ func runChaos(ctx context.Context, sp *ChaosSpec, workers int, emit func(Event))
 	return &ChaosResult{Points: pts}, nil
 }
 
-// ThroughputResult is the wire result of a throughput job.
+// ThroughputResult is the wire result of a throughput job. Model
+// labels the timing backend that produced the points; clients must
+// treat "analytical" results as approximate.
 type ThroughputResult struct {
 	Points     []noc.ThroughputPoint `json:"points"`
 	Saturation float64               `json:"saturationBound"`
+	Model      string                `json:"model"`
 }
 
 func runThroughput(ctx context.Context, sp *ThroughputSpec, emit func(Event)) (any, error) {
 	grid := geom.NewGrid(sp.Side, sp.Side)
 	fm := fault.Random(grid, sp.Faults, rand.New(rand.NewSource(sp.Seed)))
-	res := &ThroughputResult{Saturation: noc.TheoreticalSaturation(grid)}
+	res := &ThroughputResult{Saturation: noc.TheoreticalSaturation(grid), Model: sp.Model}
+	if sp.Model == noc.ModelNameAnalytical {
+		model, err := analytical.New(fm, analytical.Config{})
+		if err != nil {
+			return nil, err
+		}
+		pts, err := model.ThroughputCurve(ctx, sp.Rates)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = pts
+		emit(Event{Stage: "rates", Done: int64(len(pts)), Total: int64(len(sp.Rates))})
+		return res, nil
+	}
 	// Rate points are measured one at a time — each builds its own Sim
 	// from the same seed, so per-rate results match the batched sweep
 	// exactly while cancellation lands between rates.
@@ -191,53 +208,79 @@ func runThroughput(ctx context.Context, sp *ThroughputSpec, emit func(Event)) (a
 	return res, nil
 }
 
-// DSEResult is the wire result of a dse job.
+// DSEResult is the wire result of a dse job. Model labels the
+// evaluation backend of every point.
 type DSEResult struct {
 	ArrayPoints []core.ArrayPoint `json:"arrayPoints"`
+	Model       string            `json:"model"`
 }
 
 func runDSE(ctx context.Context, sp *DSESpec, workers int, emit func(Event)) (any, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
 	d := core.NewDesign()
 	d.Workers = workers
-	pts, err := d.SweepArraySize(sp.Sides)
-	if err != nil {
-		return nil, err
-	}
-	emit(Event{Stage: "points", Done: int64(len(pts)), Total: int64(len(sp.Sides))})
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return &DSEResult{ArrayPoints: pts}, nil
-}
-
-// ParetoResult is the wire result of a pareto job.
-type ParetoResult struct {
-	All      []core.DesignPoint `json:"all"`
-	Frontier []core.DesignPoint `json:"frontier"`
-}
-
-func runPareto(ctx context.Context, sp *ParetoSpec, workers int, emit func(Event)) (any, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	d := core.NewDesign()
-	d.Workers = workers
-	all, frontier, err := d.ExplorePareto(core.ParetoSpace{
-		Sides:   sp.Sides,
-		EdgeV:   sp.EdgeV,
-		Pillars: sp.Pillars,
+	pts, err := d.SweepArraySizeCtx(ctx, sp.Sides, core.SweepOpts{
+		Model: core.EvalModel(sp.Model),
+		Progress: func(done, total int) {
+			emit(Event{Stage: "points", Done: int64(done), Total: int64(total)})
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
-	emit(Event{Stage: "points", Done: int64(len(all)), Total: int64(len(all))})
-	if err := ctx.Err(); err != nil {
+	return &DSEResult{ArrayPoints: pts, Model: sp.Model}, nil
+}
+
+// ParetoResult is the wire result of a pareto job. Model labels the
+// backend behind All/Frontier ("cycle" for exact and two-tier runs,
+// "analytical" for screen runs); Mode echoes the spec. Two-tier runs
+// additionally carry the approximate screen of the full grid, the
+// survivor accounting and the screen-vs-verified error report.
+type ParetoResult struct {
+	All      []core.DesignPoint `json:"all"`
+	Frontier []core.DesignPoint `json:"frontier"`
+	Model    string             `json:"model"`
+	Mode     string             `json:"mode"`
+
+	Screened    []core.DesignPoint     `json:"screened,omitempty"`
+	Survivors   int                    `json:"survivors,omitempty"`
+	ScreenedOut int                    `json:"screenedOut,omitempty"`
+	ModelError  *core.ModelErrorReport `json:"modelError,omitempty"`
+}
+
+func runPareto(ctx context.Context, sp *ParetoSpec, workers int, emit func(Event)) (any, error) {
+	d := core.NewDesign()
+	d.Workers = workers
+	opts := core.ParetoOpts{
+		Progress: func(stage string, done, total int) {
+			emit(Event{Stage: stage, Done: int64(done), Total: int64(total)})
+		},
+	}
+	switch sp.Mode {
+	case "screen":
+		opts.Model = core.ModelAnalytical
+	case "twotier":
+		opts.TwoTier = true
+		opts.TopK = sp.TopK
+		opts.BandPct = sp.BandPct
+	}
+	run, err := d.ExploreParetoCtx(ctx, core.ParetoSpace{
+		Sides:   sp.Sides,
+		EdgeV:   sp.EdgeV,
+		Pillars: sp.Pillars,
+	}, opts)
+	if err != nil {
 		return nil, err
 	}
-	return &ParetoResult{All: all, Frontier: frontier}, nil
+	return &ParetoResult{
+		All:         run.All,
+		Frontier:    run.Frontier,
+		Model:       run.Model,
+		Mode:        sp.Mode,
+		Screened:    run.Screened,
+		Survivors:   run.Survivors,
+		ScreenedOut: run.ScreenedOut,
+		ModelError:  run.ModelError,
+	}, nil
 }
 
 // ReportResult is the wire result of a report job: the rendered

@@ -23,7 +23,26 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+
+	"waferscale/internal/core"
+	"waferscale/internal/noc"
 )
+
+// normalizeModel canonicalizes a timing-backend field: "" defaults to
+// the exact cycle engine, and only the two registered backend names are
+// accepted. The normalized value lands in the cache key, which is what
+// keeps approximate and exact results from ever aliasing.
+func normalizeModel(m *string, kind string) error {
+	*m = strings.ToLower(strings.TrimSpace(*m))
+	switch *m {
+	case "":
+		*m = noc.ModelNameCycle
+	case noc.ModelNameCycle, noc.ModelNameAnalytical:
+	default:
+		return fmt.Errorf("serve: %s model %q (want %s|%s)", kind, *m, noc.ModelNameCycle, noc.ModelNameAnalytical)
+	}
+	return nil
+}
 
 // Spec is the content-addressed description of one analysis request.
 // Exactly one kind-specific section is consulted (the one matching
@@ -82,11 +101,19 @@ type ThroughputSpec struct {
 	Faults int       `json:"faults"` // random faulty tiles
 	Seed   int64     `json:"seed"`   // 0 -> 1
 	Rates  []float64 `json:"rates"`  // offered injection rates; empty -> default curve
+	// Model picks the timing backend: "cycle" (default, packet
+	// simulation) or "analytical" (closed-form queueing model). The
+	// field is part of the cache key, so approximate and exact sweeps
+	// never share a cached result.
+	Model string `json:"model"`
 }
 
 // DSESpec parametrizes the array-size design sweep.
 type DSESpec struct {
 	Sides []int `json:"sides"` // empty -> {8, 16, 24, 32, 40, 48}
+	// Model picks the evaluation backend: "cycle" (default) or
+	// "analytical". Cache-keyed, like ThroughputSpec.Model.
+	Model string `json:"model"`
 }
 
 // ParetoSpec parametrizes the (throughput, power, yield) exploration.
@@ -94,6 +121,17 @@ type ParetoSpec struct {
 	Sides   []int     `json:"sides"`   // empty -> {16, 24, 32, 40}
 	EdgeV   []float64 `json:"edgeV"`   // empty -> {2.0, 2.5, 3.0}
 	Pillars []int     `json:"pillars"` // empty -> {1, 2}
+	// Mode selects the evaluation strategy: "exact" (default,
+	// exhaustive cycle-accurate), "screen" (exhaustive analytical fast
+	// path — approximate, labeled as such), or "twotier" (analytical
+	// screen, cycle-accurate verification of the survivors). Part of
+	// the cache key: approximate and exact frontiers never alias.
+	Mode string `json:"mode"`
+	// TopK and BandPct tune the two-tier survivor selection (only
+	// meaningful — and only cache-keyed — when Mode is "twotier";
+	// normalization zeroes them otherwise). 0 -> the core defaults.
+	TopK    int     `json:"topK"`
+	BandPct float64 `json:"bandPct"`
 }
 
 // ReportSpec parametrizes the full engineering report.
@@ -224,6 +262,9 @@ func (s *Spec) Normalize() error {
 		if tp.Seed == 0 {
 			tp.Seed = 1
 		}
+		if err := normalizeModel(&tp.Model, "throughput"); err != nil {
+			return err
+		}
 		if len(tp.Rates) == 0 {
 			tp.Rates = []float64{0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0}
 		}
@@ -249,6 +290,9 @@ func (s *Spec) Normalize() error {
 		if len(dse.Sides) == 0 {
 			dse.Sides = []int{8, 16, 24, 32, 40, 48}
 		}
+		if err := normalizeModel(&dse.Model, "dse"); err != nil {
+			return err
+		}
 		if len(dse.Sides) > maxSweepLen {
 			return fmt.Errorf("serve: dse sweeps %d sides, max %d", len(dse.Sides), maxSweepLen)
 		}
@@ -270,6 +314,32 @@ func (s *Spec) Normalize() error {
 		}
 		if len(pareto.Pillars) == 0 {
 			pareto.Pillars = []int{1, 2}
+		}
+		pareto.Mode = strings.ToLower(strings.TrimSpace(pareto.Mode))
+		switch pareto.Mode {
+		case "":
+			pareto.Mode = "exact"
+		case "exact", "screen", "twotier":
+		default:
+			return fmt.Errorf("serve: pareto mode %q (want exact|screen|twotier)", pareto.Mode)
+		}
+		if pareto.Mode == "twotier" {
+			if pareto.TopK == 0 {
+				pareto.TopK = core.DefaultTopK
+			}
+			if pareto.BandPct == 0 {
+				pareto.BandPct = core.DefaultBandPct
+			}
+			if pareto.TopK < 1 || pareto.TopK > 64 {
+				return fmt.Errorf("serve: pareto topK %d outside 1..64", pareto.TopK)
+			}
+			if pareto.BandPct <= 0 || pareto.BandPct > 50 {
+				return fmt.Errorf("serve: pareto bandPct %.3g outside (0, 50]", pareto.BandPct)
+			}
+		} else if pareto.TopK != 0 || pareto.BandPct != 0 {
+			// Canonical form: the tuning knobs only exist in two-tier
+			// mode, so they must not fragment exact/screen cache keys.
+			pareto.TopK, pareto.BandPct = 0, 0
 		}
 		if n := len(pareto.Sides) * len(pareto.EdgeV) * len(pareto.Pillars); n > 256 {
 			return fmt.Errorf("serve: pareto grid has %d points, max 256", n)

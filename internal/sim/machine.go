@@ -143,6 +143,19 @@ type Machine struct {
 	traceW      io.Writer
 	traceFilter TraceFilter
 
+	// LatencyModel, when set, replaces the cycle-stepped packet network
+	// with a timing model: remote memory ops apply immediately and their
+	// cores stall for the modeled round trip, and Step skips the network
+	// simulation entirely (see latmodel.go). Runs with a model attached
+	// are approximate; label results with TimingModelName and never
+	// cache-key them as cycle-exact. Set only between cycles on a
+	// machine with no remote ops in flight.
+	LatencyModel noc.LatencyModel
+	// LatencyRate is the uniform background load (packets/tile/cycle)
+	// the model's queueing terms are evaluated at; 0 prices unloaded
+	// round trips.
+	LatencyRate float64
+
 	// Remote-op robustness knobs. A remote access outstanding past
 	// RemoteTimeout cycles is declared lost and reissued along a freshly
 	// planned route; after RemoteRetries reissues the destination is
@@ -583,9 +596,11 @@ func (m *Machine) serveRemote(p noc.Packet) uint32 {
 func (m *Machine) Step() {
 	m.cycle++
 	m.applyScheduled()
-	m.net.Step()
-	m.flushResponses()
-	m.flushForwards()
+	if m.LatencyModel == nil {
+		m.net.Step()
+		m.flushResponses()
+		m.flushForwards()
+	}
 	if m.fullScan {
 		m.stepCoresFullScan()
 		return
@@ -988,6 +1003,10 @@ func (m *Machine) stepCore(t *Tile, c *Core, sh *machBand) {
 // op lost when its deadline expires. Runs serially (directly on the
 // serial path, via the staged-op commit on the sharded path).
 func (m *Machine) stepRemote(c *Core) {
+	if m.LatencyModel != nil {
+		m.stepRemoteModeled(c)
+		return
+	}
 	c.StallRemote++
 	if !c.rem.injected {
 		if _, err := m.net.Inject(c.rem.net, c.tile, c.rem.dst, noc.Request, c.rem.tag, c.rem.payload); err == nil {
@@ -1197,6 +1216,9 @@ func (m *Machine) remoteOp(c *Core, in Instr, addr uint32) bool {
 	if err != nil {
 		m.fault(c, nil, "remote access lost: %v", err)
 		return true
+	}
+	if m.LatencyModel != nil {
+		return m.remoteOpModeled(c, in, addr, target)
 	}
 	dec, err := m.kernel.Decide(c.tile, target)
 	if err != nil || !dec.Reachable {

@@ -18,7 +18,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN="${BENCH_PATTERN:-BenchmarkFig7PacketSim|BenchmarkNoCThroughput|BenchmarkE1GraphWorkloads|BenchmarkChaosBFSSurvival}"
+PATTERN="${BENCH_PATTERN:-BenchmarkFig7PacketSim|BenchmarkAnalyticalFig7|BenchmarkNoCThroughput|BenchmarkE1GraphWorkloads|BenchmarkChaosBFSSurvival|BenchmarkParetoTwoTier}"
 TIME="${BENCH_TIME:-3s}"
 COUNT="${BENCH_COUNT:-3}"
 OUT="${BENCH_OUT:-BENCH_noc.json}"
@@ -26,7 +26,11 @@ OUT="${BENCH_OUT:-BENCH_noc.json}"
 raw=$(go test -run='^$' -bench="$PATTERN" -benchtime="$TIME" -benchmem -count="$COUNT" .)
 echo "$raw"
 
-echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v count="$COUNT" '
+# Host metadata makes the recorded numbers comparable across machines:
+# a regression is only a regression against the same core count.
+hostmeta=$(go run ./scripts/hostmeta 2>/dev/null || echo '{}')
+
+echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v count="$COUNT" -v hostmeta="$hostmeta" '
 # Benchmarks may emit extra ReportMetric columns between ns/op and
 # B/op, so locate each value by its unit suffix instead of position.
 # With -count > 1 each benchmark repeats; keep the repetition with the
@@ -45,7 +49,7 @@ echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v count="$COUNT" '
     }
 }
 END {
-    printf "{\n  \"date\": \"%s\",\n  \"count\": %d,\n  \"benchmarks\": [\n", date, count
+    printf "{\n  \"date\": \"%s\",\n  \"count\": %d,\n  \"host\": %s,\n  \"benchmarks\": [\n", date, count, hostmeta
     for (i = 1; i <= n; i++) {
         name = order[i]
         printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n",

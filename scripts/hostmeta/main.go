@@ -1,0 +1,29 @@
+// Command hostmeta prints a one-line JSON object describing the
+// benchmark host — GOMAXPROCS, CPU count, go version, GOOS/GOARCH —
+// for scripts/bench.sh to embed in BENCH_*.json. Benchmark numbers are
+// only comparable against the same core count and toolchain, so the
+// record carries its own provenance.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+func main() {
+	meta := map[string]any{
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"numcpu":     runtime.NumCPU(),
+		"goversion":  runtime.Version(),
+		"goos":       runtime.GOOS,
+		"goarch":     runtime.GOARCH,
+	}
+	b, err := json.Marshal(meta)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(string(b))
+}
