@@ -474,32 +474,43 @@ func BenchmarkSec7AKGDScreening(b *testing.B) {
 	b.ReportMetric(out.FaultyWithKGD, "badSitesKGD")
 }
 
-// BenchmarkNoCThroughput measures the latency-throughput curve of the
-// dual mesh under uniform random traffic.
-func BenchmarkNoCThroughput(b *testing.B) { benchNoCThroughput(b, 1) }
+// BenchmarkNoCThroughput measures the latency-throughput curve under
+// uniform random traffic, one sub-benchmark per NoC topology (the
+// dual-DoR mesh plus the cmesh/express/vertical link graphs), so
+// BENCH_noc.json tracks every topology's engine cost side by side.
+func BenchmarkNoCThroughput(b *testing.B) {
+	for _, topo := range noc.TopologyNames() {
+		topo := topo
+		b.Run(topo, func(b *testing.B) { benchNoCThroughput(b, 1, topo) })
+	}
+}
 
-// Sharded variants of the throughput sweep (same curve, bit-identical
-// points, 2/4/8 spatial shards stepping each rate's sim).
-func BenchmarkNoCThroughputShard2(b *testing.B) { benchNoCThroughput(b, 2) }
-func BenchmarkNoCThroughputShard4(b *testing.B) { benchNoCThroughput(b, 4) }
-func BenchmarkNoCThroughputShard8(b *testing.B) { benchNoCThroughput(b, 8) }
+// Sharded variants of the mesh throughput sweep (same curve,
+// bit-identical points, 2/4/8 spatial shards stepping each rate's sim).
+func BenchmarkNoCThroughputShard2(b *testing.B) { benchNoCThroughput(b, 2, noc.TopoMesh) }
+func BenchmarkNoCThroughputShard4(b *testing.B) { benchNoCThroughput(b, 4, noc.TopoMesh) }
+func BenchmarkNoCThroughputShard8(b *testing.B) { benchNoCThroughput(b, 8, noc.TopoMesh) }
 
-func benchNoCThroughput(b *testing.B, shards int) {
-	fm := fault.NewMap(geom.NewGrid(8, 8))
+func benchNoCThroughput(b *testing.B, shards int, topology string) {
+	grid := geom.NewGrid(8, 8)
+	fm := fault.NewMap(grid)
 	cfg := noc.DefaultThroughputConfig()
 	cfg.WarmupCycles, cfg.MeasureCycles = 200, 600
 	cfg.Shards = shards
+	cfg.Topology = topology
+	// Probe well below every topology's bound, then at its bound.
+	sat := noc.IdealSaturation(topology, grid)
 	var pts []noc.ThroughputPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = noc.MeasureThroughput(fm, cfg, []float64{0.05, 0.5})
+		pts, err = noc.MeasureThroughput(fm, cfg, []float64{0.05, sat})
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(pts[0].AvgLatency, "lowLoadLatency")
 	b.ReportMetric(pts[1].DeliveredRate, "saturatedRate")
-	b.ReportMetric(noc.TheoreticalSaturation(geom.NewGrid(8, 8)), "bisectionBound")
+	b.ReportMetric(sat, "idealBound")
 }
 
 // BenchmarkSec8FullWaferRoute routes the complete 32x32 wafer netlist

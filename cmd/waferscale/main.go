@@ -79,6 +79,8 @@ func main() {
 		err = cmdValidate(args)
 	case "pareto":
 		err = cmdPareto(args)
+	case "toposweep":
+		err = cmdTopoSweep(args)
 	case "chaos":
 		err = cmdChaos(args)
 	case "version", "-version", "--version":
@@ -115,6 +117,7 @@ commands:
   place      optimize clock-generator placement on a fault map
   validate   run BFS on a reduced simulated machine vs a host oracle
   pareto     explore the (throughput, power, yield) design space
+  toposweep  explore NoC topologies across random fault maps
   chaos      BFS survival curve under runtime fault injection
   version    print build information
 
@@ -240,6 +243,7 @@ func cmdNocMC(args []string) error {
 	max := fs.Int("max", 20, "max fault count")
 	chiplet := fs.Bool("chiplet", false, "fault at chiplet granularity (memory faults only cut N-S links)")
 	workers := fs.Int("workers", 0, "host goroutines running trials (0 = GOMAXPROCS)")
+	topology := fs.String("topology", "", "NoC link graph: mesh (default) | cmesh | express | vertical")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -249,6 +253,9 @@ func cmdNocMC(args []string) error {
 		counts = append(counts, n)
 	}
 	if *chiplet {
+		if *topology != "" {
+			return fmt.Errorf("-chiplet sweeps are mesh-only")
+		}
 		fmt.Printf("Fig. 6 at chiplet granularity (32x32, %d trials)\n", *trials)
 		fmt.Printf("%8s  %14s  %14s\n", "chiplets", "1 DoR network", "2 DoR networks")
 		for _, p := range noc.ChipletFig6Sweep(d.Cfg.Grid(), counts, *trials, *seed, *workers) {
@@ -256,8 +263,16 @@ func cmdNocMC(args []string) error {
 		}
 		return nil
 	}
-	pts := noc.Fig6SweepWorkers(d.Cfg.Grid(), counts, *trials, *seed, *workers)
-	fmt.Printf("Fig. 6: %% disconnected source-destination pairs (32x32, %d trials)\n", *trials)
+	name, err := noc.NormalizeTopology(*topology)
+	if err != nil {
+		return err
+	}
+	pts, err := noc.TopoFig6SweepCtx(context.Background(), name, d.Cfg.Grid(), counts, *trials, *seed,
+		noc.Fig6Opts{Workers: *workers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig. 6: %% disconnected source-destination pairs (32x32 %s, %d trials)\n", name, *trials)
 	fmt.Printf("%8s  %14s  %14s\n", "faults", "1 DoR network", "2 DoR networks")
 	for _, p := range pts {
 		fmt.Printf("%8d  %13.2f%%  %13.3f%%\n", p.Faults, p.PctSingle.Mean, p.PctDual.Mean)
@@ -319,14 +334,15 @@ func cmdDSE(args []string) error {
 	fs := flag.NewFlagSet("dse", flag.ExitOnError)
 	workers := fs.Int("workers", 0, "host goroutines for the sweeps (0 = GOMAXPROCS)")
 	model := fs.String("model", "cycle", "evaluation backend: cycle (exact) | analytical (approximate fast path)")
+	topology := fs.String("topology", "", "NoC link graph for the per-side probes: mesh (default) | cmesh | express | vertical")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	d := core.NewDesign()
 	d.Workers = *workers
-	fmt.Printf("array-size sweep (fixed per-tile design; model=%s):\n", *model)
+	fmt.Printf("array-size sweep (fixed per-tile design; model=%s, topology=%s):\n", *model, topoLabel(*topology))
 	pts, err := d.SweepArraySizeCtx(context.Background(), []int{8, 16, 24, 32, 40, 48},
-		core.SweepOpts{Model: core.EvalModel(*model)})
+		core.SweepOpts{Model: core.EvalModel(*model), Topology: *topology})
 	if err != nil {
 		return err
 	}
@@ -360,6 +376,58 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// cmdTopoSweep explores the topology x fault-map space: every shipped
+// topology against random fault populations, screened analytically and
+// (by default) cycle-verified two-tier.
+func cmdTopoSweep(args []string) error {
+	fs := flag.NewFlagSet("toposweep", flag.ExitOnError)
+	side := fs.Int("side", 16, "array side (vertical needs it even)")
+	faults := fs.String("faults", "0,4,8", "comma-separated fault counts")
+	trials := fs.Int("trials", 2, "random fault maps per nonzero count")
+	seed := fs.Int64("seed", 2021, "fault-map seed")
+	workers := fs.Int("workers", 0, "host goroutines evaluating candidates (0 = GOMAXPROCS)")
+	mode := fs.String("mode", "twotier", "evaluation strategy: exact | screen (analytical only) | twotier (screen then verify)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var counts []int
+	for _, part := range strings.Split(*faults, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad -faults entry %q: %v", part, err)
+		}
+		counts = append(counts, n)
+	}
+	space := core.TopoSweepSpace{Side: *side, FaultCounts: counts, Trials: *trials, Seed: *seed}
+	opts := core.TopoSweepOpts{Workers: *workers}
+	switch *mode {
+	case "exact":
+		opts.Model = core.ModelCycle
+	case "screen":
+		opts.Model = core.ModelAnalytical
+	case "twotier":
+		opts.TwoTier = true
+	default:
+		return fmt.Errorf("unknown -mode %q (want exact|screen|twotier)", *mode)
+	}
+	run, err := core.ExploreTopologiesCtx(context.Background(), space, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topology sweep on %dx%d (%d trials/count, model=%s)\n", *side, *side, *trials, run.Model)
+	fmt.Print(core.FormatTopoSweep(run))
+	return nil
+}
+
+// topoLabel renders a -topology flag value for banners ("" = mesh).
+func topoLabel(topology string) string {
+	name, err := noc.NormalizeTopology(topology)
+	if err != nil {
+		return topology
+	}
+	return name
 }
 
 // loadDesign builds the design point, applying an optional JSON config.
@@ -415,6 +483,7 @@ func cmdThroughput(args []string) error {
 	shards := fs.Int("shards", 1, "spatial shards stepping the mesh per cycle (1 = serial engine)")
 	shardWorkers := fs.Int("shard-workers", 0, "host goroutines per sharded sim (0 = min(shards, GOMAXPROCS))")
 	model := fs.String("model", "cycle", "timing backend: cycle (packet simulation) | analytical (closed-form, approximate)")
+	topology := fs.String("topology", "", "NoC link graph: mesh (default) | cmesh | express | vertical (needs an even side)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -428,10 +497,11 @@ func cmdThroughput(args []string) error {
 		tcfg := noc.DefaultThroughputConfig()
 		tcfg.Shards = *shards
 		tcfg.ShardWorkers = *shardWorkers
+		tcfg.Topology = *topology
 		pts, err = noc.MeasureThroughput(fm, tcfg, rates)
 	case "analytical":
-		var am *analytical.Model
-		am, err = analytical.New(fm, analytical.Config{})
+		var am noc.LatencyModel
+		am, err = analytical.NewForTopology(*topology, fm, analytical.Config{})
 		if err == nil {
 			pts, err = am.ThroughputCurve(context.Background(), rates)
 		}
@@ -441,8 +511,8 @@ func cmdThroughput(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("uniform random traffic on %dx%d (%d faults, model=%s); bisection bound %.3f pkt/tile/cyc\n",
-		*side, *side, *faults, *model, noc.TheoreticalSaturation(grid))
+	fmt.Printf("uniform random traffic on %dx%d %s (%d faults, model=%s); saturation bound %.3f pkt/tile/cyc\n",
+		*side, *side, topoLabel(*topology), *faults, *model, noc.IdealSaturation(*topology, grid))
 	fmt.Printf("%10s %12s %12s %14s\n", "offered", "delivered", "avg latency", "backpressured")
 	for _, p := range pts {
 		fmt.Printf("%10.3f %12.4f %11.1fcy %13.1f%%\n",
@@ -587,12 +657,13 @@ func cmdPareto(args []string) error {
 	mode := fs.String("mode", "exact", "evaluation strategy: exact | screen (analytical, approximate) | twotier (screen then verify)")
 	topK := fs.Int("topk", core.DefaultTopK, "twotier: always verify the top K screened points per objective")
 	band := fs.Float64("band", core.DefaultBandPct, "twotier: feasibility safety band around the droop floor, % of floor voltage")
+	topology := fs.String("topology", "", "NoC link graph behind every design point: mesh (default) | cmesh | express | vertical")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	d := core.NewDesign()
 	d.Workers = *workers
-	opts := core.ParetoOpts{}
+	opts := core.ParetoOpts{Topology: *topology}
 	switch *mode {
 	case "exact":
 	case "screen":
@@ -612,8 +683,8 @@ func cmdPareto(args []string) error {
 	for _, p := range run.Frontier {
 		onFrontier[p] = true
 	}
-	fmt.Printf("%d feasible points, %d on the Pareto frontier (throughput vs power vs yield; model=%s)\n",
-		len(run.All), len(run.Frontier), run.Model)
+	fmt.Printf("%d feasible points, %d on the Pareto frontier (throughput vs power vs yield; model=%s, topology=%s)\n",
+		len(run.All), len(run.Frontier), run.Model, run.Topology)
 	fmt.Printf("%6s %7s %8s %10s %10s %10s %9s %8s\n",
 		"side", "edge V", "pillars", "TOPS", "power W", "exp. bad", "center V", "pareto")
 	for _, p := range run.All {

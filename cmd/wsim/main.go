@@ -51,9 +51,12 @@ func main() {
 	shardWorkers := flag.Int("shard-workers", 0, "host goroutines per sharded machine (0 = min(shards, GOMAXPROCS))")
 	latencyModel := flag.String("latency-model", "cycle",
 		"remote-op timing backend: cycle (exact network simulation) | analytical (closed-form model; approximate timing, exact results)")
+	topoFlag := flag.String("topology", "",
+		"NoC link graph: mesh (default) | cmesh | express | vertical (needs an even side)")
 	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 	timingModel = *latencyModel
+	topology = *topoFlag
 
 	if *showVersion {
 		fmt.Println(version.String())
@@ -74,24 +77,29 @@ func main() {
 	}
 }
 
-// timingModel is the -latency-model selection; newWsimMachine applies
-// it to every machine the CLI builds.
-var timingModel = "cycle"
+// timingModel is the -latency-model selection and topology the
+// -topology selection; newWsimMachine applies both to every machine
+// the CLI builds.
+var (
+	timingModel = "cycle"
+	topology    = ""
+)
 
 // newWsimMachine builds a machine on a fresh fault map and attaches
-// the selected timing backend. The analytical backend replaces the
-// cycle-stepped network with closed-form latencies: computed results
-// stay exact, reported cycle counts are approximate and labeled.
+// the selected timing backend and NoC topology. The analytical backend
+// replaces the cycle-stepped network with closed-form latencies:
+// computed results stay exact, reported cycle counts are approximate
+// and labeled.
 func newWsimMachine(cfg arch.Config) (*sim.Machine, error) {
 	fm := fault.NewMap(cfg.Grid())
-	m, err := sim.NewMachine(cfg, fm)
+	m, err := sim.NewMachineTopology(cfg, fm, topology)
 	if err != nil {
 		return nil, err
 	}
 	switch timingModel {
 	case "", "cycle":
 	case "analytical":
-		model, err := analytical.New(fm, analytical.Config{})
+		model, err := analytical.NewForTopology(topology, fm, analytical.Config{})
 		if err != nil {
 			return nil, err
 		}

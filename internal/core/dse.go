@@ -8,6 +8,7 @@ import (
 
 	"waferscale/internal/chipio"
 	"waferscale/internal/jtag"
+	"waferscale/internal/noc"
 	"waferscale/internal/parallel"
 	"waferscale/internal/pdn"
 )
@@ -46,6 +47,9 @@ type ArrayPoint struct {
 type SweepOpts struct {
 	// Model picks the evaluation backend ("" = cycle).
 	Model EvalModel
+	// Topology names the NoC link graph the per-side probes run on
+	// ("" = mesh); see noc.NewTopology. Vertical needs even sides.
+	Topology string
 	// Progress, when set, is called once with done=0 when the sweep
 	// starts and then after every completed side. Calls are serialized
 	// and done is strictly increasing.
@@ -72,6 +76,10 @@ func (d *Design) SweepArraySizeCtx(ctx context.Context, sides []int, opts SweepO
 		ctx = context.Background()
 	}
 	model, err := opts.Model.normalized()
+	if err != nil {
+		return nil, err
+	}
+	topology, err := noc.NormalizeTopology(opts.Topology)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +122,7 @@ func (d *Design) SweepArraySizeCtx(ctx context.Context, sides []int, opts SweepO
 			reg := pdn.CheckRegulation(sol, d.LDO, cfg.PeakTilePowerW)
 			regOK = reg.TilesOutOfRange == 0
 		}
-		probe, err := probeNoC(ctx, n, model)
+		probe, err := probeNoC(ctx, n, model, topology)
 		if err != nil {
 			return ArrayPoint{}, fmt.Errorf("core: side %d noc probe: %w", n, err)
 		}

@@ -1,0 +1,455 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"waferscale/internal/fault"
+	"waferscale/internal/geom"
+	"waferscale/internal/noc"
+	"waferscale/internal/noc/analytical"
+	"waferscale/internal/parallel"
+)
+
+// Topology x fault-map exploration: the DAC'21 prototype froze the
+// dual-DoR mesh in silicon; with topology now a first-class axis
+// (noc.Topology) the natural question is which link graph survives
+// which fault population best. The candidate space — topologies crossed
+// with random fault maps — is priced per point by a saturation and a
+// loaded-latency probe, so the same two-tier trick as ExploreParetoCtx
+// applies: screen every candidate with the closed-form TopoModel,
+// cycle-verify only the plausible frontier.
+
+// TopoSweepSpace enumerates the candidate (topology, fault map) grid.
+type TopoSweepSpace struct {
+	// Side is the square array side (vertical needs it even).
+	Side int
+	// Topologies to sweep; empty means every shipped topology.
+	Topologies []string
+	// FaultCounts are the fault populations; each nonzero count gets
+	// Trials random maps (count 0 contributes a single fault-free map).
+	FaultCounts []int
+	// Trials is the number of random maps per nonzero fault count;
+	// 0 means 1.
+	Trials int
+	// Seed derives the per-map seeds (fault.TrialSeed).
+	Seed int64
+}
+
+// TopoSweepOpts configures ExploreTopologiesCtx.
+type TopoSweepOpts struct {
+	// TwoTier screens with the analytical TopoModel and verifies only
+	// the surviving candidates with the cycle engine.
+	TwoTier bool
+	// Model picks the backend for a single-tier run ("" = cycle).
+	// Ignored when TwoTier is set.
+	Model EvalModel
+	// TopK is the per-objective insurance count (0 = DefaultTopK).
+	TopK int
+	// BandPct is the screen-confidence band, in percent, applied to
+	// both objectives during survivor selection (0 =
+	// DefaultTopoBandPct). Unlike the Pareto droop band, both
+	// objectives here are modeled, so the band must cover the
+	// analytical model's relative error on each.
+	BandPct float64
+	// Workers bounds the evaluation pool (0 = GOMAXPROCS).
+	Workers int
+	// Progress mirrors ParetoOpts.Progress with stages "evaluate"
+	// (single-tier) or "screen"/"verify" (two-tier).
+	Progress func(stage string, done, total int)
+}
+
+// DefaultTopoBandPct is the default screen-confidence band for the
+// topology sweep. The analytical model's delivered-saturation error is
+// within ~10% and its loaded-latency error within ~25% of the cycle
+// engine (accuracy suite tolerances); 15% on both objectives, applied
+// to each side of a comparison, screens out only candidates beaten by
+// well over the combined error budget.
+const DefaultTopoBandPct = 15.0
+
+// TopoPoint is one evaluated (topology, fault map) candidate.
+type TopoPoint struct {
+	Topology string `json:"topology"`
+	Faults   int    `json:"faults"`
+	Trial    int    `json:"trial"`
+	// Model labels the backend ("cycle" or "analytical").
+	Model string `json:"model"`
+	// SatRate is the delivered saturation throughput
+	// (packets/tile/cycle): the measured plateau on the cycle tier, the
+	// derated closed-form capacity scaled by path reachability on the
+	// analytical tier.
+	SatRate float64 `json:"satRate"`
+	// Latency is the average packet latency (cycles) at
+	// probeLoadFraction of the topology's ideal saturation bound.
+	Latency float64 `json:"latency"`
+}
+
+// topoCandidate is the pre-evaluation identity of a point.
+type topoCandidate struct {
+	topology string
+	faults   int
+	trial    int
+}
+
+// TopoModelError is the per-topology screen-vs-verified error summary.
+type TopoModelError struct {
+	Topology       string  `json:"topology"`
+	Points         int     `json:"points"`
+	SatMeanPct     float64 `json:"satMeanPct"`
+	SatMaxPct      float64 `json:"satMaxPct"`
+	LatencyMeanPct float64 `json:"latencyMeanPct"`
+	LatencyMaxPct  float64 `json:"latencyMaxPct"`
+}
+
+// TopoSweepRun is the result of ExploreTopologiesCtx.
+type TopoSweepRun struct {
+	// Model labels All/Frontier ("cycle" for two-tier runs).
+	Model   string `json:"model"`
+	TwoTier bool   `json:"twoTier"`
+
+	// All are the evaluated points (two-tier: the verified survivors);
+	// Frontier is the subset not dominated on (SatRate max, Latency
+	// min), both sorted by SatRate.
+	All      []TopoPoint `json:"all"`
+	Frontier []TopoPoint `json:"frontier"`
+
+	// Screened is the analytical evaluation of every candidate
+	// (two-tier only), in enumeration order.
+	Screened    []TopoPoint `json:"screened,omitempty"`
+	Survivors   int         `json:"survivors,omitempty"`
+	ScreenedOut int         `json:"screenedOut,omitempty"`
+
+	// SatRankCorr/LatencyRankCorr are Spearman correlations of the
+	// screen ordering against the verified ordering over the survivors;
+	// PerTopology breaks the relative errors down by topology.
+	SatRankCorr     float64          `json:"satRankCorr,omitempty"`
+	LatencyRankCorr float64          `json:"latencyRankCorr,omitempty"`
+	PerTopology     []TopoModelError `json:"perTopology,omitempty"`
+
+	// ScreenElapsed/VerifyElapsed time the two tiers (two-tier runs);
+	// EvalElapsed times a single-tier run. The screen speedup of a
+	// two-tier run against an exhaustive cycle run is
+	// exhaustive.EvalElapsed / twotier.ScreenElapsed.
+	ScreenElapsed time.Duration `json:"screenElapsed,omitempty"`
+	VerifyElapsed time.Duration `json:"verifyElapsed,omitempty"`
+	EvalElapsed   time.Duration `json:"evalElapsed,omitempty"`
+}
+
+// enumerateTopoSpace expands the space into candidates, normalizing
+// topology names and collapsing the fault-free count to one trial.
+func enumerateTopoSpace(space TopoSweepSpace) ([]topoCandidate, error) {
+	if space.Side < 2 {
+		return nil, fmt.Errorf("core: topo sweep side %d too small", space.Side)
+	}
+	topos := space.Topologies
+	if len(topos) == 0 {
+		topos = noc.TopologyNames()
+	}
+	trials := space.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	counts := space.FaultCounts
+	if len(counts) == 0 {
+		counts = []int{0}
+	}
+	var out []topoCandidate
+	for _, t := range topos {
+		name, err := noc.NormalizeTopology(t)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range counts {
+			if n < 0 || n >= space.Side*space.Side-1 {
+				return nil, fmt.Errorf("core: topo sweep fault count %d out of range for side %d", n, space.Side)
+			}
+			nt := trials
+			if n == 0 {
+				nt = 1 // every fault-free trial is the same map
+			}
+			for tr := 0; tr < nt; tr++ {
+				out = append(out, topoCandidate{topology: name, faults: n, trial: tr})
+			}
+		}
+	}
+	return out, nil
+}
+
+// evalTopoCandidate prices one candidate with the selected backend. The
+// probe rate is closed-form per topology (model-independent), so both
+// tiers answer the same question.
+func evalTopoCandidate(ctx context.Context, space TopoSweepSpace, c topoCandidate, model EvalModel) (TopoPoint, error) {
+	g := geom.NewGrid(space.Side, space.Side)
+	// Derive the map seed the same way the chaos and wsim trial sweeps
+	// do, so a (seed, faults, trial) triple names the same fault map
+	// everywhere.
+	fm := fault.Random(g, c.faults, rand.New(rand.NewSource(fault.TrialSeed(space.Seed, c.faults, c.trial))))
+	rate := probeLoadFraction * noc.IdealSaturation(c.topology, g)
+	pt := TopoPoint{Topology: c.topology, Faults: c.faults, Trial: c.trial, Model: string(model)}
+	switch model {
+	case ModelAnalytical:
+		m, err := analytical.NewForTopology(c.topology, fm, analytical.Config{})
+		if err != nil {
+			return TopoPoint{}, err
+		}
+		// Both shipped analytical backends expose the exact fraction of
+		// fault-free paths; delivered saturation is capacity times that.
+		reach, ok := m.(interface{ ReachableFraction() float64 })
+		if !ok {
+			return TopoPoint{}, fmt.Errorf("core: analytical backend for %q lacks ReachableFraction", c.topology)
+		}
+		pt.SatRate = m.SaturationRate() * reach.ReachableFraction()
+		pts, err := m.ThroughputCurve(ctx, []float64{rate})
+		if err != nil {
+			return TopoPoint{}, err
+		}
+		pt.Latency = pts[0].AvgLatency
+	default:
+		cfg := noc.ProbeThroughputConfig()
+		cfg.Topology = c.topology
+		cm := &noc.CycleModel{FM: fm, Cfg: cfg}
+		pt.SatRate = cm.SaturationRate()
+		pts, err := cm.ThroughputCurve(ctx, []float64{rate})
+		if err != nil {
+			return TopoPoint{}, err
+		}
+		pt.Latency = pts[0].AvgLatency
+	}
+	return pt, nil
+}
+
+// dominatesTopo reports strict Pareto dominance on the sweep's two
+// objectives: delivered saturation up, loaded latency down.
+func dominatesTopo(a, b TopoPoint) bool {
+	geq := a.SatRate >= b.SatRate && a.Latency <= b.Latency
+	gt := a.SatRate > b.SatRate || a.Latency < b.Latency
+	return geq && gt
+}
+
+// topoFrontier extracts the non-dominated subset, sorted by SatRate.
+func topoFrontier(pts []TopoPoint) []TopoPoint {
+	var frontier []TopoPoint
+	for _, p := range pts {
+		dominated := false
+		for _, q := range pts {
+			if dominatesTopo(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			frontier = append(frontier, p)
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i].SatRate < frontier[j].SatRate })
+	return frontier
+}
+
+// ExploreTopologies runs the sweep with background context.
+func ExploreTopologies(space TopoSweepSpace, opts TopoSweepOpts) (*TopoSweepRun, error) {
+	return ExploreTopologiesCtx(context.Background(), space, opts)
+}
+
+// ExploreTopologiesCtx evaluates the topology x fault-map space. With
+// opts.TwoTier it screens every candidate with the closed-form
+// analytical model and cycle-verifies only the candidates that could
+// plausibly reach the frontier — survivor selection keeps any point not
+// dominated by a band-confident margin, plus a top-K insurance slice
+// per objective — and reports screen-vs-verified model error. The
+// verified frontier equals an exhaustive cycle run's frontier as long
+// as the screen's relative error stays inside the band (regression-
+// tested on a small grid).
+func ExploreTopologiesCtx(ctx context.Context, space TopoSweepSpace, opts TopoSweepOpts) (*TopoSweepRun, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	combos, err := enumerateTopoSpace(space)
+	if err != nil {
+		return nil, err
+	}
+	if len(combos) == 0 {
+		return nil, fmt.Errorf("core: empty topology sweep space")
+	}
+	evalAll := func(cs []topoCandidate, model EvalModel, stage string) ([]TopoPoint, time.Duration, error) {
+		start := time.Now()
+		tick := progressTicker(opts.Progress, stage, len(cs))
+		pts, err := parallel.Map(ctx, len(cs), opts.Workers, func(i int) (TopoPoint, error) {
+			pt, err := evalTopoCandidate(ctx, space, cs[i], model)
+			if err != nil {
+				return TopoPoint{}, fmt.Errorf("core: topo point %s/%d faults/trial %d (%s): %w",
+					cs[i].topology, cs[i].faults, cs[i].trial, model, err)
+			}
+			if tick != nil {
+				tick()
+			}
+			return pt, nil
+		})
+		return pts, time.Since(start), err
+	}
+	if !opts.TwoTier {
+		model, err := opts.Model.normalized()
+		if err != nil {
+			return nil, err
+		}
+		pts, elapsed, err := evalAll(combos, model, "evaluate")
+		if err != nil {
+			return nil, err
+		}
+		return &TopoSweepRun{
+			Model:       string(model),
+			All:         pts,
+			Frontier:    topoFrontier(pts),
+			EvalElapsed: elapsed,
+		}, nil
+	}
+
+	screened, screenElapsed, err := evalAll(combos, ModelAnalytical, "screen")
+	if err != nil {
+		return nil, err
+	}
+	surv := selectTopoSurvivors(screened, opts)
+	verifyCombos := make([]topoCandidate, len(surv))
+	for i, idx := range surv {
+		verifyCombos[i] = combos[idx]
+	}
+	verified, verifyElapsed, err := evalAll(verifyCombos, ModelCycle, "verify")
+	if err != nil {
+		return nil, err
+	}
+	run := &TopoSweepRun{
+		Model:         string(ModelCycle),
+		TwoTier:       true,
+		All:           verified,
+		Frontier:      topoFrontier(verified),
+		Screened:      screened,
+		Survivors:     len(surv),
+		ScreenedOut:   len(combos) - len(surv),
+		ScreenElapsed: screenElapsed,
+		VerifyElapsed: verifyElapsed,
+	}
+	buildTopoErrorReport(run, screened, surv, verified)
+	return run, nil
+}
+
+// selectTopoSurvivors returns the indices of screened candidates worth
+// a cycle evaluation, sorted ascending: every candidate not dominated
+// by a band-confident margin on both objectives, plus top-K insurance
+// per objective.
+func selectTopoSurvivors(screened []TopoPoint, opts TopoSweepOpts) []int {
+	topK := opts.TopK
+	if topK <= 0 {
+		topK = DefaultTopK
+	}
+	band := opts.BandPct
+	if band <= 0 {
+		band = DefaultTopoBandPct
+	}
+	f := band / 100
+	confidentlyDominates := func(a, b TopoPoint) bool {
+		return a.SatRate >= b.SatRate*(1+f) && a.Latency <= b.Latency/(1+f)
+	}
+	keep := make(map[int]bool)
+	for i := range screened {
+		dominated := false
+		for j := range screened {
+			if confidentlyDominates(screened[j], screened[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			keep[i] = true
+		}
+	}
+	objectives := []func(a, b TopoPoint) bool{
+		func(a, b TopoPoint) bool { return a.SatRate > b.SatRate },
+		func(a, b TopoPoint) bool { return a.Latency < b.Latency },
+	}
+	for _, better := range objectives {
+		order := make([]int, len(screened))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(x, y int) bool { return better(screened[order[x]], screened[order[y]]) })
+		for k := 0; k < topK && k < len(order); k++ {
+			keep[order[k]] = true
+		}
+	}
+	out := make([]int, 0, len(keep))
+	for i := range keep {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func buildTopoErrorReport(run *TopoSweepRun, screened []TopoPoint, surv []int, verified []TopoPoint) {
+	if len(surv) == 0 {
+		return
+	}
+	relPct := func(model, exact float64) float64 {
+		if exact == 0 {
+			return 100 * math.Abs(model)
+		}
+		return 100 * math.Abs(model-exact) / math.Abs(exact)
+	}
+	var screenSat, exactSat, screenLat, exactLat []float64
+	perTopo := map[string]*TopoModelError{}
+	var order []string
+	for k, idx := range surv {
+		s, v := screened[idx], verified[k]
+		te := perTopo[s.Topology]
+		if te == nil {
+			te = &TopoModelError{Topology: s.Topology}
+			perTopo[s.Topology] = te
+			order = append(order, s.Topology)
+		}
+		satPct := relPct(s.SatRate, v.SatRate)
+		latPct := relPct(s.Latency, v.Latency)
+		te.Points++
+		te.SatMeanPct += satPct
+		te.LatencyMeanPct += latPct
+		te.SatMaxPct = math.Max(te.SatMaxPct, satPct)
+		te.LatencyMaxPct = math.Max(te.LatencyMaxPct, latPct)
+		screenSat = append(screenSat, s.SatRate)
+		exactSat = append(exactSat, v.SatRate)
+		screenLat = append(screenLat, s.Latency)
+		exactLat = append(exactLat, v.Latency)
+	}
+	for _, name := range order {
+		te := perTopo[name]
+		te.SatMeanPct /= float64(te.Points)
+		te.LatencyMeanPct /= float64(te.Points)
+		run.PerTopology = append(run.PerTopology, *te)
+	}
+	run.SatRankCorr = spearmanRank(screenSat, exactSat)
+	run.LatencyRankCorr = spearmanRank(screenLat, exactLat)
+}
+
+// FormatTopoSweep renders a topology sweep result.
+func FormatTopoSweep(run *TopoSweepRun) string {
+	var b []byte
+	onFrontier := map[TopoPoint]bool{}
+	for _, p := range run.Frontier {
+		onFrontier[p] = true
+	}
+	b = append(b, fmt.Sprintf("%-10s %7s %6s %10s %12s %8s\n", "topology", "faults", "trial", "sat rate", "latency", "pareto")...)
+	for _, p := range run.All {
+		b = append(b, fmt.Sprintf("%-10s %7d %6d %10.4f %10.1fcy %8v\n",
+			p.Topology, p.Faults, p.Trial, p.SatRate, p.Latency, onFrontier[p])...)
+	}
+	if run.TwoTier {
+		b = append(b, fmt.Sprintf("two-tier: %d of %d candidates verified (screen %v, verify %v)\n",
+			run.Survivors, run.Survivors+run.ScreenedOut, run.ScreenElapsed.Round(time.Millisecond), run.VerifyElapsed.Round(time.Millisecond))...)
+		b = append(b, fmt.Sprintf("screen rank corr: saturation %.3f, latency %.3f\n", run.SatRankCorr, run.LatencyRankCorr)...)
+		for _, te := range run.PerTopology {
+			b = append(b, fmt.Sprintf("  %-10s %d pts: sat err mean %.1f%% max %.1f%%, latency err mean %.1f%% max %.1f%%\n",
+				te.Topology, te.Points, te.SatMeanPct, te.SatMaxPct, te.LatencyMeanPct, te.LatencyMaxPct)...)
+		}
+	}
+	return string(b)
+}

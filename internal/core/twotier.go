@@ -47,12 +47,13 @@ func (m EvalModel) normalized() (EvalModel, error) {
 		string(m), noc.ModelNameCycle, noc.ModelNameAnalytical)
 }
 
-// probeLoadFraction is the fraction of the theoretical bisection bound
-// the NoC latency probe loads the network at. It is model-independent
-// (so the two tiers answer the same question) and sits below both the
-// cycle engine's measured plateau (~0.71 of the bound) and the
-// analytical model's derated capacity (0.75), keeping the probe in the
-// stable region of the latency-throughput curve.
+// probeLoadFraction is the fraction of the topology's closed-form
+// saturation bound (noc.IdealSaturation) the NoC latency probe loads
+// the network at. It is model-independent (so the two tiers answer the
+// same question) and sits below every topology's measured plateau
+// (~0.53-0.74 of the bound, see analytical.DefaultTopoAllocEfficiency),
+// keeping the probe in the stable region of the latency-throughput
+// curve.
 const probeLoadFraction = 0.4
 
 // nocProbe is the per-design-point NoC characterization both tiers
@@ -63,21 +64,23 @@ type nocProbe struct {
 	latency float64
 }
 
-func probeNoC(ctx context.Context, side int, model EvalModel) (nocProbe, error) {
+func probeNoC(ctx context.Context, side int, model EvalModel, topology string) (nocProbe, error) {
 	g := geom.NewGrid(side, side)
 	fm := fault.NewMap(g)
 	var lm noc.LatencyModel
 	switch model {
 	case ModelAnalytical:
-		m, err := analytical.New(fm, analytical.Config{})
+		m, err := analytical.NewForTopology(topology, fm, analytical.Config{})
 		if err != nil {
 			return nocProbe{}, err
 		}
 		lm = m
 	default:
-		lm = &noc.CycleModel{FM: fm, Cfg: noc.ProbeThroughputConfig()}
+		cfg := noc.ProbeThroughputConfig()
+		cfg.Topology = topology
+		lm = &noc.CycleModel{FM: fm, Cfg: cfg}
 	}
-	rate := probeLoadFraction * noc.TheoreticalSaturation(g)
+	rate := probeLoadFraction * noc.IdealSaturation(topology, g)
 	pts, err := lm.ThroughputCurve(ctx, []float64{rate})
 	if err != nil {
 		return nocProbe{}, err
@@ -102,6 +105,10 @@ type ParetoOpts struct {
 	// Model picks the backend for a single-tier run ("" = cycle).
 	// Ignored when TwoTier is set.
 	Model EvalModel
+	// Topology names the NoC link graph the probes characterize
+	// ("" = mesh); see noc.NewTopology. Both tiers use the same
+	// topology, so screen and verify answer the same question.
+	Topology string
 	// TwoTier screens the full space with the analytical model and
 	// verifies only the surviving candidates with the cycle backend.
 	TwoTier bool
@@ -155,8 +162,10 @@ type ModelErrorReport struct {
 type ParetoRun struct {
 	// Model labels the backend the All/Frontier points were evaluated
 	// with ("cycle" for two-tier runs: the frontier is always verified).
-	Model   string
-	TwoTier bool
+	Model string
+	// Topology is the normalized NoC topology the probes ran on.
+	Topology string
+	TwoTier  bool
 
 	// All and Frontier are the feasible points and the Pareto-optimal
 	// subset, sorted by throughput. For two-tier runs All covers only
@@ -218,7 +227,7 @@ func progressTicker(progress func(stage string, done, total int), stage string, 
 // evalCombos evaluates the combos with the given backend on the shared
 // pool. The NoC probe depends only on the array side, so probes run
 // once per distinct side, then the per-combo droop evaluations fan out.
-func (d *Design) evalCombos(ctx context.Context, combos []paretoCombo, model EvalModel, tick func()) ([]DesignPoint, error) {
+func (d *Design) evalCombos(ctx context.Context, combos []paretoCombo, model EvalModel, topology string, tick func()) ([]DesignPoint, error) {
 	seen := map[int]bool{}
 	var sides []int
 	for _, c := range combos {
@@ -229,7 +238,7 @@ func (d *Design) evalCombos(ctx context.Context, combos []paretoCombo, model Eva
 	}
 	sort.Ints(sides)
 	probeVals, err := parallel.Map(ctx, len(sides), d.Workers, func(i int) (nocProbe, error) {
-		p, err := probeNoC(ctx, sides[i], model)
+		p, err := probeNoC(ctx, sides[i], model, topology)
 		if err != nil {
 			return nocProbe{}, fmt.Errorf("core: noc probe side %d (%s): %w", sides[i], model, err)
 		}
@@ -267,22 +276,26 @@ func (d *Design) ExploreParetoCtx(ctx context.Context, space ParetoSpace, opts P
 	if len(combos) == 0 {
 		return nil, fmt.Errorf("core: empty pareto space")
 	}
+	topology, err := noc.NormalizeTopology(opts.Topology)
+	if err != nil {
+		return nil, err
+	}
 	if opts.TwoTier {
-		return d.exploreTwoTier(ctx, combos, opts)
+		return d.exploreTwoTier(ctx, combos, topology, opts)
 	}
 	model, err := opts.Model.normalized()
 	if err != nil {
 		return nil, err
 	}
-	pts, err := d.evalCombos(ctx, combos, model, progressTicker(opts.Progress, "evaluate", len(combos)))
+	pts, err := d.evalCombos(ctx, combos, model, topology, progressTicker(opts.Progress, "evaluate", len(combos)))
 	if err != nil {
 		return nil, err
 	}
 	all, frontier := feasibleFrontier(pts)
-	return &ParetoRun{Model: string(model), All: all, Frontier: frontier}, nil
+	return &ParetoRun{Model: string(model), Topology: topology, All: all, Frontier: frontier}, nil
 }
 
-func (d *Design) exploreTwoTier(ctx context.Context, combos []paretoCombo, opts ParetoOpts) (*ParetoRun, error) {
+func (d *Design) exploreTwoTier(ctx context.Context, combos []paretoCombo, topology string, opts ParetoOpts) (*ParetoRun, error) {
 	topK := opts.TopK
 	if topK <= 0 {
 		topK = DefaultTopK
@@ -294,7 +307,7 @@ func (d *Design) exploreTwoTier(ctx context.Context, combos []paretoCombo, opts 
 	floor := d.LDO.MinOutV + d.LDO.DropoutV
 	bandV := floor * bandPct / 100
 
-	screened, err := d.evalCombos(ctx, combos, ModelAnalytical, progressTicker(opts.Progress, "screen", len(combos)))
+	screened, err := d.evalCombos(ctx, combos, ModelAnalytical, topology, progressTicker(opts.Progress, "screen", len(combos)))
 	if err != nil {
 		return nil, err
 	}
@@ -303,13 +316,14 @@ func (d *Design) exploreTwoTier(ctx context.Context, combos []paretoCombo, opts 
 	for i, idx := range surv {
 		verifyCombos[i] = combos[idx]
 	}
-	verified, err := d.evalCombos(ctx, verifyCombos, ModelCycle, progressTicker(opts.Progress, "verify", len(verifyCombos)))
+	verified, err := d.evalCombos(ctx, verifyCombos, ModelCycle, topology, progressTicker(opts.Progress, "verify", len(verifyCombos)))
 	if err != nil {
 		return nil, err
 	}
 	all, frontier := feasibleFrontier(verified)
 	return &ParetoRun{
 		Model:       string(ModelCycle),
+		Topology:    topology,
 		TwoTier:     true,
 		All:         all,
 		Frontier:    frontier,

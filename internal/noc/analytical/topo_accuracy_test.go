@@ -1,0 +1,221 @@
+package analytical
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"waferscale/internal/fault"
+	"waferscale/internal/geom"
+	"waferscale/internal/noc"
+)
+
+// Accuracy validation of the topology-generic TopoModel against the
+// cycle engine, mirroring accuracy_test.go: every new topology gets
+// the same pinned model-error budget as the mesh (tolDelivered,
+// tolLatency, tolSat, minRankCorr — see that file for the rationale),
+// plus a cross-validation pass pinning TopoModel-on-mesh to the
+// prefix-sum Model within float rounding.
+
+// topoAccuracyNames are the topologies validated here; the mesh is
+// covered by accuracy_test.go via the prefix-sum Model, which
+// TestTopoModelMatchesMeshModel ties TopoModel to.
+var topoAccuracyNames = []string{noc.TopoCMesh, noc.TopoExpress, noc.TopoVertical}
+
+func mustTopoModel(t *testing.T, name string, fm *fault.Map) *TopoModel {
+	t.Helper()
+	topo, err := noc.NewTopology(name, fm.Grid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewTopoModel(topo, fm, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func topoCycleModel(name string, fm *fault.Map, probeCfg bool) *noc.CycleModel {
+	cfg := noc.DefaultThroughputConfig()
+	if probeCfg {
+		cfg = noc.ProbeThroughputConfig()
+	}
+	cfg.Topology = name
+	return &noc.CycleModel{FM: fm, Cfg: cfg}
+}
+
+// TestTopoModelMatchesMeshModel cross-validates the route-walking
+// aggregation against the mesh prefix sums: on the mesh topology both
+// builds count exactly the same crossings, so every aggregate must
+// agree to float rounding (summation order differs).
+func TestTopoModelMatchesMeshModel(t *testing.T) {
+	const tol = 1e-9
+	close := func(a, b float64) bool {
+		return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	}
+	for name, fm := range fig7Maps(t) {
+		t.Run(name, func(t *testing.T) {
+			ref := mustModel(t, fm)
+			tm := mustTopoModel(t, noc.TopoMesh, fm)
+			if !close(tm.IdealSaturationRate(), ref.IdealSaturationRate()) {
+				t.Errorf("ideal saturation: topo %.12f vs mesh %.12f", tm.IdealSaturationRate(), ref.IdealSaturationRate())
+			}
+			if !close(tm.SaturationRate(), ref.SaturationRate()) {
+				t.Errorf("saturation: topo %.12f vs mesh %.12f", tm.SaturationRate(), ref.SaturationRate())
+			}
+			if !close(tm.ReachableFraction(), ref.ReachableFraction()) {
+				t.Errorf("reachable: topo %.12f vs mesh %.12f", tm.ReachableFraction(), ref.ReachableFraction())
+			}
+			if !close(tm.AvgRouteLength(), ref.AvgHops()) {
+				t.Errorf("avg route length: topo %.12f vs mesh hops %.12f", tm.AvgRouteLength(), ref.AvgHops())
+			}
+			if !close(tm.MaxLinkLoad(), ref.MaxLinkLoad()) {
+				t.Errorf("max link load: topo %.12f vs mesh %.12f", tm.MaxLinkLoad(), ref.MaxLinkLoad())
+			}
+			// Per-link marginals and loaded pair latencies, spot-checked.
+			g := fm.Grid()
+			rng := rand.New(rand.NewSource(7))
+			healthy := fm.HealthyCoords()
+			for i := 0; i < 32; i++ {
+				c := geom.C(rng.Intn(g.W), rng.Intn(g.H))
+				d := geom.Dir(rng.Intn(4))
+				net := noc.Network(i % 2)
+				if a, b := tm.LinkLoad(net, c, int(d)), ref.LinkLoad(net, c, d); !close(a, b) {
+					t.Errorf("link load %v %v %v: topo %.12f vs mesh %.12f", net, c, d, a, b)
+				}
+				src := healthy[rng.Intn(len(healthy))]
+				dst := healthy[rng.Intn(len(healthy))]
+				if src == dst {
+					continue
+				}
+				tl, tok := tm.PairLatency(net, src, dst, 0.05)
+				rl, rok := ref.PairLatency(net, src, dst, 0.05)
+				if tok != rok || (tok && !close(tl, rl)) {
+					t.Errorf("pair %v %v->%v: topo %.12f,%v vs mesh %.12f,%v", net, src, dst, tl, tok, rl, rok)
+				}
+			}
+		})
+	}
+}
+
+// Latency-throughput curves per topology: the closed-form sweep must
+// track the measured curve point-by-point below saturation, within the
+// same budget the mesh model is held to.
+func TestTopoAccuracyThroughputCurve(t *testing.T) {
+	for _, topo := range topoAccuracyNames {
+		for name, fm := range fig7Maps(t) {
+			t.Run(topo+"/"+name, func(t *testing.T) {
+				model := mustTopoModel(t, topo, fm)
+				cycle := topoCycleModel(topo, fm, false)
+				sat := model.SaturationRate()
+				rates := []float64{0.1 * sat, 0.3 * sat, 0.6 * sat}
+				mpts, err := model.ThroughputCurve(context.Background(), rates)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cpts, err := cycle.ThroughputCurve(context.Background(), rates)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range rates {
+					if e := relErr(mpts[i].DeliveredRate, cpts[i].DeliveredRate); e > tolDelivered {
+						t.Errorf("rate %.3f: delivered model %.4f vs cycle %.4f (rel %.3f > %.2f)",
+							rates[i], mpts[i].DeliveredRate, cpts[i].DeliveredRate, e, tolDelivered)
+					}
+					if e := relErr(mpts[i].AvgLatency, cpts[i].AvgLatency); e > tolLatency {
+						t.Errorf("rate %.3f: latency model %.2f vs cycle %.2f (rel %.3f > %.2f)",
+							rates[i], mpts[i].AvgLatency, cpts[i].AvgLatency, e, tolLatency)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Saturation throughput per topology: closed-form capacity (including
+// the credit-capacity normalization of long links) vs the measured
+// plateau.
+func TestTopoAccuracySaturation(t *testing.T) {
+	for _, topo := range topoAccuracyNames {
+		for name, fm := range fig7Maps(t) {
+			t.Run(topo+"/"+name, func(t *testing.T) {
+				model := mustTopoModel(t, topo, fm)
+				cycle := topoCycleModel(topo, fm, false)
+				analytic := model.SaturationRate() * model.ReachableFraction()
+				measured := cycle.SaturationRate()
+				if e := relErr(analytic, measured); e > tolSat {
+					t.Errorf("saturation: model %.4f vs measured plateau %.4f (rel %.3f > %.2f)",
+						analytic, measured, e, tolSat)
+				}
+			})
+		}
+	}
+}
+
+// Zero-load pair latency per topology: with no background traffic the
+// cycle engine is deterministic — hop count and link lengths only — so
+// the model must match it exactly, including blocked-pair verdicts on
+// the faulted map.
+func TestTopoAccuracyZeroLoadPairsExact(t *testing.T) {
+	for _, topo := range topoAccuracyNames {
+		for name, fm := range fig7Maps(t) {
+			t.Run(topo+"/"+name, func(t *testing.T) {
+				model := mustTopoModel(t, topo, fm)
+				cycle := topoCycleModel(topo, fm, true)
+				cycle.ProbePackets = 1
+				healthy := fm.HealthyCoords()
+				rng := rand.New(rand.NewSource(42))
+				for i := 0; i < 24; i++ {
+					src := healthy[rng.Intn(len(healthy))]
+					dst := healthy[rng.Intn(len(healthy))]
+					if src == dst {
+						continue
+					}
+					net := noc.Network(i % 2)
+					mlat, mok := model.PairLatency(net, src, dst, 0)
+					clat, cok := cycle.PairLatency(net, src, dst, 0)
+					if mok != cok {
+						t.Fatalf("%v %v->%v: model ok=%v cycle ok=%v", net, src, dst, mok, cok)
+					}
+					if mok && mlat != clat {
+						t.Errorf("%v %v->%v: zero-load model %.1f vs cycle %.1f", net, src, dst, mlat, clat)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Pair-latency ordering under load per topology: the two-tier screen
+// ranks candidates by modeled latency, so ordering is the contract.
+func TestTopoAccuracyPairRankCorrelation(t *testing.T) {
+	fm := fault.NewMap(geom.NewGrid(16, 16))
+	for _, topo := range topoAccuracyNames {
+		t.Run(topo, func(t *testing.T) {
+			model := mustTopoModel(t, topo, fm)
+			cycle := topoCycleModel(topo, fm, true)
+			rate := 0.4 * model.SaturationRate()
+			rng := rand.New(rand.NewSource(9))
+			var ml, cl []float64
+			for len(ml) < 16 {
+				src := geom.C(rng.Intn(16), rng.Intn(16))
+				dst := geom.C(rng.Intn(16), rng.Intn(16))
+				if src == dst {
+					continue
+				}
+				mlat, mok := model.PairLatency(noc.XY, src, dst, rate)
+				clat, cok := cycle.PairLatency(noc.XY, src, dst, rate)
+				if !mok || !cok {
+					t.Fatalf("fault-free pair %v->%v blocked (model %v cycle %v)", src, dst, mok, cok)
+				}
+				ml = append(ml, mlat)
+				cl = append(cl, clat)
+			}
+			if rho := spearman(ml, cl); rho < minRankCorr {
+				t.Errorf("%s: pair-latency rank correlation %.3f < %.2f\nmodel: %v\ncycle: %v",
+					topo, rho, minRankCorr, ml, cl)
+			}
+		})
+	}
+}

@@ -12,19 +12,33 @@ import (
 // crossed. The paper provisions four 100-bit buses per tile edge; this
 // view shows where that capacity is stressed (e.g. the diagonal
 // hotspot dimension-ordered routing creates under transpose traffic)
-// and what adaptive routing buys.
+// and what adaptive routing buys. Counters are kept per (tile, port),
+// so topology-specific links (express lanes, CMesh spokes, vertical
+// links) are tracked exactly like mesh edges.
 
 // LinkStat is one directed inter-tile link's traversal count.
 type LinkStat struct {
-	Net        Network
-	From       geom.Coord
+	Net  Network
+	From geom.Coord
+	// Port is the output port the traffic left From through. For ports
+	// 0-3 this is a mesh direction (Dir mirrors it); topology-specific
+	// ports (express, CMesh spokes, vertical) have Port >= 4 and Dir is
+	// not meaningful.
+	Port       int
 	Dir        geom.Dir
 	Traversals int64
 }
 
-// LinkUse returns the traversal count of one directed link.
+// LinkUse returns the traversal count of one directed mesh link; see
+// PortUse for topology-specific ports.
 func (s *Sim) LinkUse(net Network, from geom.Coord, d geom.Dir) int64 {
-	return s.linkUse[net][s.grid.Index(from)*geom.NumDirs+int(d)]
+	return s.PortUse(net, from, int(d))
+}
+
+// PortUse returns the traversal count of the directed link leaving
+// (from, port).
+func (s *Sim) PortUse(net Network, from geom.Coord, port int) int64 {
+	return s.linkUse[net][s.grid.Index(from)*s.np+port]
 }
 
 // LinkStats returns all links with nonzero traffic, busiest first.
@@ -37,8 +51,9 @@ func (s *Sim) LinkStats() []LinkStat {
 			}
 			out = append(out, LinkStat{
 				Net:        Network(n),
-				From:       s.grid.Coord(i / geom.NumDirs),
-				Dir:        geom.Dir(i % geom.NumDirs),
+				From:       s.grid.Coord(i / s.np),
+				Port:       i % s.np,
+				Dir:        geom.Dir(i % s.np),
 				Traversals: v,
 			})
 		}
@@ -78,8 +93,8 @@ func (s *Sim) WriteHeatmap(w io.Writer, net Network) {
 	var max int64
 	g.All(func(c geom.Coord) {
 		var sum int64
-		for d := 0; d < geom.NumDirs; d++ {
-			sum += s.linkUse[net][g.Index(c)*geom.NumDirs+d]
+		for p := 0; p < s.local; p++ {
+			sum += s.linkUse[net][g.Index(c)*s.np+p]
 		}
 		load[g.Index(c)] = sum
 		if sum > max {

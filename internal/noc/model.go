@@ -64,7 +64,7 @@ func ProbeThroughputConfig() ThroughputConfig {
 // is deterministic and as expensive as the engine underneath.
 type CycleModel struct {
 	FM  *fault.Map
-	Cfg ThroughputConfig // measurement window; zero value -> Default
+	Cfg ThroughputConfig // measurement window (incl. Topology); zero value -> Default
 
 	// ProbePackets is the number of probe packets averaged by
 	// PairLatency; 0 means 8.
@@ -107,7 +107,14 @@ func (m *CycleModel) PairLatency(net Network, src, dst geom.Coord, rate float64)
 		probes = 8
 	}
 	cfg := m.cfg()
-	s, err := NewSim(m.FM, cfg.Sim)
+	var topo Topology
+	if cfg.Topology != "" {
+		var err error
+		if topo, err = NewTopology(cfg.Topology, m.FM.Grid()); err != nil {
+			return 0, false
+		}
+	}
+	s, err := NewSimTopology(m.FM, cfg.Sim, topo)
 	if err != nil {
 		return 0, false
 	}
@@ -151,9 +158,9 @@ func (m *CycleModel) PairLatency(net Network, src, dst geom.Coord, rate float64)
 }
 
 // SaturationRate measures the delivered-throughput plateau by offering
-// well past the theoretical bisection bound.
+// well past the topology's bisection-style bound.
 func (m *CycleModel) SaturationRate() float64 {
-	offered := 1.5 * TheoreticalSaturation(m.FM.Grid())
+	offered := 1.5 * IdealSaturation(m.Cfg.Topology, m.FM.Grid())
 	if offered > 1 {
 		offered = 1
 	}

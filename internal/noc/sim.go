@@ -9,8 +9,11 @@ import (
 	"waferscale/internal/parallel"
 )
 
-// Port indices inside a router: the four mesh directions plus the
-// local inject/eject port.
+// Port indices inside a mesh router: the four mesh directions plus the
+// local inject/eject port. These are the mesh topology's layout; other
+// topologies may populate more ports, but ports 0-3 always mean the
+// four mesh directions wherever a topology wires them, and the local
+// port is always the last one (Topology.Ports()-1).
 const (
 	portN = iota
 	portE
@@ -29,12 +32,14 @@ type inFlight struct {
 }
 
 // router is one tile's switch on one physical network: input-buffered,
-// dimension-ordered, round-robin arbitration per output port, credit
-// (space-) checked forwarding.
+// round-robin arbitration per output port, credit (space-) checked
+// forwarding. The input FIFOs and round-robin pointers are slices into
+// per-network slabs sized by the topology's port count.
 type router struct {
 	at   geom.Coord
-	in   [numPorts]pktFIFO // input FIFOs (ring buffers, FIFODepth each)
-	rrAt [numPorts]int     // round-robin pointer per output port
+	idx  int32     // grid index, for O(1) neighbor-table lookups
+	in   []pktFIFO // input FIFOs (ring buffers, FIFODepth each), one per port
+	rrAt []int     // round-robin pointer per output port
 }
 
 // grant is one switch-allocation decision: move the head packet of
@@ -50,7 +55,7 @@ type grant struct {
 // occupancy counters and the per-cycle scratch buffers that make
 // stepNet allocation-free:
 //
-//   - inAir[tile*numPorts+port] counts flights destined for that input
+//   - inAir[tile*np+port] counts flights destined for that input
 //     FIFO, updated on launch and landing, replacing an O(flights) scan
 //     per credit check;
 //   - reserved[...] holds this cycle's switch-allocation reservations
@@ -67,22 +72,40 @@ type meshNet struct {
 }
 
 // Sim is the cycle-level simulator of the dual-network waferscale NoC.
+// The link graph it steps comes from a Topology (NewSimTopology); the
+// default is the reference dual-DoR mesh.
 type Sim struct {
 	grid geom.Grid
 	fm   *fault.Map
 	cfg  SimConfig
+	topo Topology
 	nets [2]*meshNet
 
-	// Policy selects output ports; defaults to strict dimension-ordered
-	// routing. Set to OddEvenPolicy before injecting to run the
-	// future-work adaptive scheme (paper footnote 4).
+	// np is the per-router port count (topo.Ports()); local is the
+	// inject/eject port index, always np-1.
+	np, local int
+
+	// Neighbor tables, precomputed from the topology at construction so
+	// the hot loop never calls Topology.Link: for link slot tile*np+port,
+	// nbrTile is the destination tile index (-1 = no link there),
+	// nbrPort the arrival port on that tile, and nbrLat the link flight
+	// time (length x LinkLatency). They are immutable and shared with
+	// forks.
+	nbrTile []int32
+	nbrPort []int8
+	nbrLat  []int64
+
+	// Policy selects output ports; defaults to the topology's policy
+	// (strict dimension-ordered routing on the mesh). Set to
+	// OddEvenPolicy before injecting to run the future-work adaptive
+	// scheme (paper footnote 4) — mesh topology only.
 	Policy RoutingPolicy
 
 	cycle   int64
 	nextID  uint64
 	stats   SimStats
-	linkUse [2][]int64 // per network: traversals of (tile, direction) links
-	// linkDown marks out-of-service (tile, direction) links, shared by
+	linkUse [2][]int64 // per network: traversals of (tile, port) links
+	// linkDown marks out-of-service (tile, port) links, shared by
 	// both physical networks (a flapped inter-chiplet channel takes the
 	// buses of both meshes with it). Packets queued behind a down link
 	// wait; they are not lost.
@@ -97,7 +120,7 @@ type Sim struct {
 	// candBuf is the scratch buffer RoutingPolicy.Candidates writes
 	// into (stepNet runs the two networks sequentially, so one buffer
 	// serves both).
-	candBuf [numPorts]int
+	candBuf [MaxPorts]int
 
 	// OnDeliver, when set, observes every delivered packet (after stats
 	// are updated). Used by the functional simulator to implement the
@@ -113,10 +136,11 @@ type Sim struct {
 	// serial engine). Results are bit-identical to the serial engine at
 	// any shard or worker count: allocation only reads state frozen for
 	// the cycle plus per-band scratch, every (tile, port) reservation
-	// slot has exactly one possible writer router, and grants are
-	// committed serially in band order — which is exactly the serial
-	// engine's ascending router order. See EXPERIMENTS.md ("Sharded
-	// cycle engine") for when this beats per-trial parallelism.
+	// slot has exactly one possible writer router — the Topology
+	// contract NewSimTopology validates — and grants are committed
+	// serially in band order, which is exactly the serial engine's
+	// ascending router order. See EXPERIMENTS.md ("Sharded cycle
+	// engine") for when this beats per-trial parallelism.
 	Shards int
 	// Workers caps the gang width driving the shard bands (0 =
 	// GOMAXPROCS, clamped to Shards). Purely a wall-clock knob.
@@ -131,7 +155,7 @@ type nocBand struct {
 	lo, hi  int // router index range [lo, hi)
 	grants  []grant
 	touched []int32
-	cand    [numPorts]int
+	cand    [MaxPorts]int
 	_       [64]byte
 }
 
@@ -149,10 +173,22 @@ type shardEngine struct {
 	allocFn func(b int)
 }
 
-// NewSim builds a simulator over a fault map. Routers are instantiated
-// only on healthy tiles; a packet forwarded into a faulty tile is
-// dropped and counted (the kernel must prevent this by construction).
+// NewSim builds a simulator of the reference dual-DoR mesh over a
+// fault map — identical to NewSimTopology with a nil topology. Routers
+// are instantiated only on healthy tiles; a packet forwarded into a
+// faulty tile is dropped and counted (the kernel must prevent this by
+// construction).
 func NewSim(fm *fault.Map, cfg SimConfig) (*Sim, error) {
+	return NewSimTopology(fm, cfg, nil)
+}
+
+// NewSimTopology builds a simulator over a fault map and a link graph
+// (nil topology = the reference mesh). The topology's graph invariants
+// — bidirectional links with consistent endpoints, a unique incoming
+// link per (tile, port) — are validated here, because the sharded
+// engine's determinism proof depends on them; a violating topology is
+// rejected, never silently mis-simulated.
+func NewSimTopology(fm *fault.Map, cfg SimConfig, topo Topology) (*Sim, error) {
 	if fm == nil {
 		return nil, fmt.Errorf("noc: nil fault map")
 	}
@@ -163,22 +199,38 @@ func NewSim(fm *fault.Map, cfg SimConfig) (*Sim, error) {
 	if g.W <= 0 || g.H <= 0 {
 		return nil, fmt.Errorf("noc: fault map has empty grid %v (construct with fault.NewMap)", g)
 	}
-	s := &Sim{grid: g, fm: fm, cfg: cfg, Policy: DoRPolicy{}}
-	s.linkDown = make([]bool, g.Size()*geom.NumDirs)
+	if topo == nil {
+		topo = MeshTopology(g)
+	}
+	if topo.Grid() != g {
+		return nil, fmt.Errorf("noc: topology grid %v does not match fault map grid %v", topo.Grid(), g)
+	}
+	np := topo.Ports()
+	if np < 2 || np > MaxPorts {
+		return nil, fmt.Errorf("noc: topology %q has %d ports per router, want 2..%d", topo.Name(), np, MaxPorts)
+	}
+	s := &Sim{grid: g, fm: fm, cfg: cfg, topo: topo, np: np, local: np - 1, Policy: topo.Policy()}
+	if err := s.buildLinkTables(); err != nil {
+		return nil, err
+	}
+	s.linkDown = make([]bool, g.Size()*np)
 	for n := range s.linkUse {
-		s.linkUse[n] = make([]int64, g.Size()*geom.NumDirs)
+		s.linkUse[n] = make([]int64, g.Size()*np)
 	}
 	for n := range s.nets {
 		mn := &meshNet{
 			net:      Network(n),
 			routers:  make([]*router, g.Size()),
-			inAir:    make([]int32, g.Size()*numPorts),
-			reserved: make([]int32, g.Size()*numPorts),
+			inAir:    make([]int32, g.Size()*np),
+			reserved: make([]int32, g.Size()*np),
 		}
-		// All routers of a mesh and all their ring buffers come from two
-		// slab allocations, keeping NewSim cheap inside Monte Carlo loops.
+		// All routers of a mesh and their ring buffers, FIFO headers and
+		// round-robin pointers come from four slab allocations, keeping
+		// NewSim cheap inside Monte Carlo loops.
 		routers := make([]router, g.Size())
-		slab := make([]Packet, g.Size()*numPorts*cfg.FIFODepth)
+		fifos := make([]pktFIFO, g.Size()*np)
+		rr := make([]int, g.Size()*np)
+		slab := make([]Packet, g.Size()*np*cfg.FIFODepth)
 		g.All(func(c geom.Coord) {
 			if !fm.Healthy(c) {
 				return
@@ -186,8 +238,11 @@ func NewSim(fm *fault.Map, cfg SimConfig) (*Sim, error) {
 			i := g.Index(c)
 			r := &routers[i]
 			r.at = c
-			base := i * numPorts * cfg.FIFODepth
-			for p := 0; p < numPorts; p++ {
+			r.idx = int32(i)
+			r.in = fifos[i*np : (i+1)*np]
+			r.rrAt = rr[i*np : (i+1)*np]
+			base := i * np * cfg.FIFODepth
+			for p := 0; p < np; p++ {
 				r.in[p].buf = slab[base+p*cfg.FIFODepth : base+(p+1)*cfg.FIFODepth]
 			}
 			mn.routers[i] = r
@@ -197,11 +252,73 @@ func NewSim(fm *fault.Map, cfg SimConfig) (*Sim, error) {
 	return s, nil
 }
 
+// buildLinkTables flattens the topology's link graph into the neighbor
+// tables the hot loop indexes, validating the Topology contract along
+// the way: links resolve inside the grid, are bidirectional with
+// consistent endpoints and lengths, and no two links arrive at the
+// same (tile, port) — the single-writer property the sharded engine's
+// reservation slots rely on.
+func (s *Sim) buildLinkTables() error {
+	g, np, topo := s.grid, s.np, s.topo
+	s.nbrTile = make([]int32, g.Size()*np)
+	s.nbrPort = make([]int8, g.Size()*np)
+	s.nbrLat = make([]int64, g.Size()*np)
+	for i := range s.nbrTile {
+		s.nbrTile[i] = -1
+	}
+	incoming := make([]bool, g.Size()*np)
+	var fail error
+	g.All(func(c geom.Coord) {
+		if fail != nil {
+			return
+		}
+		i := g.Index(c)
+		for p := 0; p < np-1; p++ {
+			far, ap, ln, ok := topo.Link(c, p)
+			if !ok {
+				continue
+			}
+			switch {
+			case !g.In(far):
+				fail = fmt.Errorf("noc: topology %q: link (%v, port %d) leaves the grid (-> %v)", topo.Name(), c, p, far)
+			case far == c:
+				fail = fmt.Errorf("noc: topology %q: link (%v, port %d) is a self-loop", topo.Name(), c, p)
+			case ap < 0 || ap >= np-1:
+				fail = fmt.Errorf("noc: topology %q: link (%v, port %d) arrives on invalid port %d", topo.Name(), c, p, ap)
+			case ln < 1:
+				fail = fmt.Errorf("noc: topology %q: link (%v, port %d) has non-positive length %d", topo.Name(), c, p, ln)
+			}
+			if fail != nil {
+				return
+			}
+			rfar, rap, rln, rok := topo.Link(far, ap)
+			if !rok || rfar != c || rap != p || rln != ln {
+				fail = fmt.Errorf("noc: topology %q: link (%v, port %d) -> (%v, port %d) is not bidirectional", topo.Name(), c, p, far, ap)
+				return
+			}
+			fi := g.Index(far)
+			slot := fi*np + ap
+			if incoming[slot] {
+				fail = fmt.Errorf("noc: topology %q: two links arrive at (%v, port %d) — breaks the sharded engine's single-writer reservation slots", topo.Name(), far, ap)
+				return
+			}
+			incoming[slot] = true
+			s.nbrTile[i*np+p] = int32(fi)
+			s.nbrPort[i*np+p] = int8(ap)
+			s.nbrLat[i*np+p] = int64(ln * s.cfg.LinkLatency)
+		}
+	})
+	return fail
+}
+
 // Cycle returns the current simulation cycle.
 func (s *Sim) Cycle() int64 { return s.cycle }
 
 // Stats returns a copy of the running statistics.
 func (s *Sim) Stats() SimStats { return s.stats }
+
+// Topology returns the link graph the simulator steps.
+func (s *Sim) Topology() Topology { return s.topo }
 
 // Delivered returns a copy of the retained packets (RetainDelivered
 // must be set). Callers get their own slice, so the simulator's
@@ -228,7 +345,7 @@ func (s *Sim) Inject(net Network, src, dst geom.Coord, kind Kind, tag uint32, pa
 	if r == nil {
 		return 0, fmt.Errorf("noc: no router at source tile %v (killed at runtime)", src)
 	}
-	if r.in[portLocal].len() >= s.cfg.FIFODepth {
+	if r.in[s.local].len() >= s.cfg.FIFODepth {
 		return 0, ErrBackpressure
 	}
 	s.nextID++
@@ -236,7 +353,7 @@ func (s *Sim) Inject(net Network, src, dst geom.Coord, kind Kind, tag uint32, pa
 		ID: s.nextID, Kind: kind, Net: net, Src: src, Dst: dst,
 		Tag: tag, Payload: payload, InjectedAt: s.cycle,
 	}
-	r.in[portLocal].push(p)
+	r.in[s.local].push(p)
 	s.stats.Injected++
 	s.live++
 	return p.ID, nil
@@ -263,12 +380,12 @@ func (s *Sim) Forward(net Network, at, newDst geom.Coord, p Packet) error {
 	if r == nil {
 		return fmt.Errorf("noc: no router at relay tile %v", at)
 	}
-	if r.in[portLocal].len() >= s.cfg.FIFODepth {
+	if r.in[s.local].len() >= s.cfg.FIFODepth {
 		return ErrBackpressure
 	}
 	p.Net = net
 	p.Dst = newDst
-	r.in[portLocal].push(p)
+	r.in[s.local].push(p)
 	s.stats.Forwarded++
 	s.live++
 	return nil
@@ -295,7 +412,7 @@ func (s *Sim) KillRouter(c geom.Coord) int {
 			continue
 		}
 		killed = true
-		for p := 0; p < numPorts; p++ {
+		for p := 0; p < s.np; p++ {
 			dropped += r.in[p].len()
 		}
 		mn.routers[i] = nil
@@ -310,23 +427,41 @@ func (s *Sim) KillRouter(c geom.Coord) int {
 }
 
 // SetLinkDown marks the inter-chiplet link at (tile, dir) out of (or
-// back in) service on both physical networks. Both endpoints of the
-// link are updated, so traffic is blocked in either direction. Down
-// links exert backpressure: the switch allocator withholds grants over
-// them and packets wait in the upstream FIFOs.
+// back in) service on both physical networks. Ports 0-3 are the mesh
+// directions on every topology that wires them; on topologies where
+// the tile has no such link the flag is recorded but can never block a
+// grant. Both endpoints of an existing link are updated, so traffic is
+// blocked in either direction. Down links exert backpressure: the
+// switch allocator withholds grants over them and packets wait in the
+// upstream FIFOs.
 func (s *Sim) SetLinkDown(c geom.Coord, d geom.Dir, down bool) {
-	if !s.grid.In(c) {
+	s.SetPortDown(c, int(d), down)
+}
+
+// SetPortDown is the generalized SetLinkDown: it addresses any link
+// port of the topology (express links, CMesh hub spokes, vertical
+// links), so the fault-injection layer can kill topology-specific
+// links too. The local port cannot be taken down.
+func (s *Sim) SetPortDown(c geom.Coord, port int, down bool) {
+	if !s.grid.In(c) || port < 0 || port >= s.local {
 		return
 	}
-	s.linkDown[s.grid.Index(c)*geom.NumDirs+int(d)] = down
-	if far := c.Step(d); s.grid.In(far) {
-		s.linkDown[s.grid.Index(far)*geom.NumDirs+int(d.Opposite())] = down
+	i := s.grid.Index(c)
+	s.linkDown[i*s.np+port] = down
+	if ni := s.nbrTile[i*s.np+port]; ni >= 0 {
+		s.linkDown[int(ni)*s.np+int(s.nbrPort[i*s.np+port])] = down
 	}
 }
 
 // LinkIsDown reports whether the link at (tile, dir) is out of service.
 func (s *Sim) LinkIsDown(c geom.Coord, d geom.Dir) bool {
-	return s.grid.In(c) && s.linkDown[s.grid.Index(c)*geom.NumDirs+int(d)]
+	return s.PortIsDown(c, int(d))
+}
+
+// PortIsDown reports whether the link at (tile, port) is out of
+// service.
+func (s *Sim) PortIsDown(c geom.Coord, port int) bool {
+	return s.grid.In(c) && port >= 0 && port < s.local && s.linkDown[s.grid.Index(c)*s.np+port]
 }
 
 // CorruptPayload XORs mask into the payload of the first packet found
@@ -344,7 +479,7 @@ func (s *Sim) CorruptPayload(c geom.Coord, mask uint64) bool {
 		if r == nil {
 			continue
 		}
-		for p := 0; p < numPorts; p++ {
+		for p := 0; p < s.np; p++ {
 			if r.in[p].len() > 0 {
 				r.in[p].front().Payload ^= mask
 				s.stats.BitErrors++
@@ -430,7 +565,7 @@ func (s *Sim) stepSharded() {
 		// for this cycle and writes only its own routers' round-robin
 		// state, its private grant/touched scratch, and reservation
 		// slots no other band can claim (a slot's unique writer is the
-		// neighboring router upstream of it).
+		// router upstream of it — the validated Topology invariant).
 		se.curNet = mn
 		se.gang.Run(len(se.bands), se.allocFn)
 		// Phase 2 (serial commit): apply grants in band order — the
@@ -481,7 +616,7 @@ func (s *Sim) landFlights(mn *meshNet) {
 			continue
 		}
 		di := g.Index(f.dstTile)
-		mn.inAir[di*numPorts+f.dstPort]--
+		mn.inAir[di*s.np+f.dstPort]--
 		r := mn.routers[di]
 		if r == nil {
 			// Link into a faulty tile: the packet is lost. The kernel's
@@ -506,21 +641,21 @@ func (s *Sim) landFlights(mn *meshNet) {
 // single-writer reservation slots, disjoint ranges may run concurrently
 // (the sharded engine relies on this).
 func (s *Sim) allocate(mn *meshNet, lo, hi int, grants []grant, touched []int32, cand []int) ([]grant, []int32) {
-	g := s.grid
+	np, local := s.np, s.local
 	for ri := lo; ri < hi; ri++ {
 		r := mn.routers[ri]
 		if r == nil {
 			continue
 		}
-		var taken [numPorts]bool // inputs already granted this cycle
-		linkBase := ri * geom.NumDirs
-		for out := 0; out < numPorts; out++ {
-			if out != portLocal && s.linkDown[linkBase+out] {
+		var taken [MaxPorts]bool // inputs already granted this cycle
+		base := ri * np
+		for out := 0; out < np; out++ {
+			if out != local && s.linkDown[base+out] {
 				continue // link out of service: packets wait upstream
 			}
 			// Round-robin: start after the last granted input.
-			for k := 1; k <= numPorts; k++ {
-				inPort := (r.rrAt[out] + k) % numPorts
+			for k := 1; k <= np; k++ {
+				inPort := (r.rrAt[out] + k) % np
 				if taken[inPort] {
 					continue
 				}
@@ -532,24 +667,24 @@ func (s *Sim) allocate(mn *meshNet, lo, hi int, grants []grant, touched []int32,
 				if !wantsPort(cand[:nc], out) {
 					continue
 				}
-				if out == portLocal {
+				if out == local {
 					// Ejection always has room (the tile consumes it).
 					grants = append(grants, grant{r, inPort, out})
 					r.rrAt[out] = inPort
 					taken[inPort] = true
 					break
 				}
-				nextTile := r.at.Step(dirOfPort(out))
-				if !s.grid.In(nextTile) {
-					// Route points off-array: drop (cannot happen for
-					// in-grid destinations; defensive).
+				ni := s.nbrTile[base+out]
+				if ni < 0 {
+					// Route points off the link graph: drop (cannot happen
+					// for in-grid destinations; defensive).
 					grants = append(grants, grant{r, inPort, out})
 					r.rrAt[out] = inPort
 					taken[inPort] = true
 					break
 				}
-				slot := int32(g.Index(nextTile)*numPorts + int(dirOfPort(out).Opposite()))
-				if !s.spaceFor(mn, nextTile, slot) {
+				slot := ni*int32(np) + int32(s.nbrPort[base+out])
+				if !s.spaceFor(mn, int(ni), slot) {
 					continue // no credit; try another input for this port
 				}
 				mn.reserved[slot]++
@@ -568,10 +703,9 @@ func (s *Sim) allocate(mn *meshNet, lo, hi int, grants []grant, touched []int32,
 // fire OnDeliver, link crossings launch flights. It must run serially —
 // list order is the delivery order the determinism contract pins.
 func (s *Sim) traverse(mn *meshNet, grants []grant) {
-	g := s.grid
 	for _, gr := range grants {
 		pkt := gr.r.in[gr.inPort].pop()
-		if gr.outPort == portLocal {
+		if gr.outPort == s.local {
 			pkt.DeliveredAt = s.cycle
 			s.stats.Delivered++
 			s.stats.TotalLatency += pkt.Latency()
@@ -588,37 +722,39 @@ func (s *Sim) traverse(mn *meshNet, grants []grant) {
 			}
 			continue
 		}
-		next := gr.r.at.Step(dirOfPort(gr.outPort))
-		if !s.grid.In(next) {
+		lslot := int(gr.r.idx)*s.np + gr.outPort
+		ni := s.nbrTile[lslot]
+		if ni < 0 {
 			s.stats.Dropped++
 			s.stats.DroppedInFlight++ // left its router, lost in traversal
 			s.live--
 			continue
 		}
 		pkt.Hops++
-		s.linkUse[mn.net][g.Index(gr.r.at)*geom.NumDirs+gr.outPort]++
-		mn.inAir[g.Index(next)*numPorts+int(dirOfPort(gr.outPort).Opposite())]++
+		s.linkUse[mn.net][lslot]++
+		dstPort := int(s.nbrPort[lslot])
+		mn.inAir[int(ni)*s.np+dstPort]++
 		mn.flights = append(mn.flights, inFlight{
 			pkt:     pkt,
-			arrive:  s.cycle + int64(s.cfg.LinkLatency),
-			dstTile: next,
-			dstPort: int(dirOfPort(gr.outPort).Opposite()),
+			arrive:  s.cycle + s.nbrLat[lslot],
+			dstTile: s.grid.Coord(int(ni)),
+			dstPort: dstPort,
 		})
 	}
 }
 
-// spaceFor reports whether the input FIFO behind slot (= tile*numPorts
-// + port) can absorb one more packet, counting queued packets, packets
+// spaceFor reports whether the input FIFO behind slot (= tile*np +
+// port) can absorb one more packet, counting queued packets, packets
 // in flight toward it and this cycle's reservations — all O(1) from
 // the incrementally maintained counters.
-func (s *Sim) spaceFor(mn *meshNet, tile geom.Coord, slot int32) bool {
-	r := mn.routers[s.grid.Index(tile)]
+func (s *Sim) spaceFor(mn *meshNet, tileIdx int, slot int32) bool {
+	r := mn.routers[tileIdx]
 	if r == nil {
 		// Faulty destination: allow the move; the packet drops on
 		// arrival (hardware would see an unresponsive link).
 		return true
 	}
-	port := int(slot) % numPorts
+	port := int(slot) % s.np
 	return r.in[port].len()+int(mn.inAir[slot])+int(mn.reserved[slot]) < s.cfg.FIFODepth
 }
 
@@ -632,7 +768,7 @@ func wantsPort(candidates []int, out int) bool {
 	return false
 }
 
-// dirOfPort converts a direction-port index back to a geom.Dir.
+// dirOfPort converts a mesh direction-port index back to a geom.Dir.
 func dirOfPort(p int) geom.Dir { return geom.Dir(p) }
 
 // Drained reports whether no packet remains anywhere in the network.
@@ -651,7 +787,7 @@ func (s *Sim) drainedScan() bool {
 			if r == nil {
 				continue
 			}
-			for p := 0; p < numPorts; p++ {
+			for p := 0; p < s.np; p++ {
 				if r.in[p].len() > 0 {
 					return false
 				}
@@ -703,7 +839,7 @@ func (s *Sim) CongestionReport(topK int) string {
 				continue
 			}
 			n := 0
-			for p := 0; p < numPorts; p++ {
+			for p := 0; p < s.np; p++ {
 				n += r.in[p].len()
 			}
 			if n > 0 {

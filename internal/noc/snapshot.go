@@ -17,15 +17,22 @@ import "waferscale/internal/fault"
 // — the fork trusts router liveness, not fm, for which routers exist.
 //
 // The fork's OnDeliver is nil (callbacks capture the original's owner;
-// the caller rewires its own), its Policy is shared (policies are
-// stateless by contract), and its shard engine is rebuilt lazily on
-// first step from the copied Shards/Workers knobs. Fork must be called
-// between cycles, like every other mutation of the simulator.
+// the caller rewires its own), its Policy and topology (with the
+// immutable neighbor tables) are shared, and its shard engine is
+// rebuilt lazily on first step from the copied Shards/Workers knobs.
+// Fork must be called between cycles, like every other mutation of the
+// simulator.
 func (s *Sim) Fork(fm *fault.Map) *Sim {
 	n := &Sim{
 		grid:            s.grid,
 		fm:              fm,
 		cfg:             s.cfg,
+		topo:            s.topo,
+		np:              s.np,
+		local:           s.local,
+		nbrTile:         s.nbrTile,
+		nbrPort:         s.nbrPort,
+		nbrLat:          s.nbrLat,
 		Policy:          s.Policy,
 		cycle:           s.cycle,
 		nextID:          s.nextID,
@@ -43,7 +50,7 @@ func (s *Sim) Fork(fm *fault.Map) *Sim {
 		n.delivered = append([]Packet(nil), s.delivered...)
 	}
 	for i, mn := range s.nets {
-		n.nets[i] = forkMeshNet(mn, s.grid.Size(), s.cfg.FIFODepth)
+		n.nets[i] = forkMeshNet(mn, s.grid.Size(), s.np, s.cfg.FIFODepth)
 	}
 	return n
 }
@@ -52,28 +59,34 @@ func (s *Sim) Fork(fm *fault.Map) *Sim {
 // taken from the source's router array (nil = faulty at construction or
 // killed at runtime), not from the fault map — the array is the
 // authoritative record once runtime kills start landing. The FIFO ring
-// buffers are re-slabbed exactly like NewSim's layout, with each ring's
-// logical contents copied in order (head normalized to 0 — behaviorally
-// identical, since all access goes through the ring API).
-func forkMeshNet(src *meshNet, tiles, fifoDepth int) *meshNet {
+// buffers, round-robin pointers and FIFO headers are re-slabbed exactly
+// like NewSimTopology's layout, with each ring's logical contents
+// copied in order (head normalized to 0 — behaviorally identical, since
+// all access goes through the ring API).
+func forkMeshNet(src *meshNet, tiles, np, fifoDepth int) *meshNet {
 	mn := &meshNet{
 		net:      src.net,
 		routers:  make([]*router, tiles),
 		inAir:    append([]int32(nil), src.inAir...),
-		reserved: make([]int32, tiles*numPorts),
+		reserved: make([]int32, tiles*np),
 	}
 	mn.flights = append([]inFlight(nil), src.flights...)
 	routers := make([]router, tiles)
-	slab := make([]Packet, tiles*numPorts*fifoDepth)
+	fifos := make([]pktFIFO, tiles*np)
+	rr := make([]int, tiles*np)
+	slab := make([]Packet, tiles*np*fifoDepth)
 	for i, sr := range src.routers {
 		if sr == nil {
 			continue
 		}
 		r := &routers[i]
 		r.at = sr.at
-		r.rrAt = sr.rrAt
-		base := i * numPorts * fifoDepth
-		for p := 0; p < numPorts; p++ {
+		r.idx = sr.idx
+		r.in = fifos[i*np : (i+1)*np]
+		r.rrAt = rr[i*np : (i+1)*np]
+		copy(r.rrAt, sr.rrAt)
+		base := i * np * fifoDepth
+		for p := 0; p < np; p++ {
 			buf := slab[base+p*fifoDepth : base+(p+1)*fifoDepth]
 			sq := &sr.in[p]
 			for k := 0; k < sq.n; k++ {

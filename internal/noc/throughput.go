@@ -33,6 +33,9 @@ type ThroughputConfig struct {
 	// to the serial sweep at any setting.
 	Shards       int
 	ShardWorkers int
+	// Topology names the link graph to measure ("" = mesh); see
+	// NewTopology.
+	Topology string
 }
 
 // DefaultThroughputConfig returns a steady-state measurement window.
@@ -49,10 +52,17 @@ func DefaultThroughputConfig() ThroughputConfig {
 // map's healthy tiles. Traffic is uniform random with requests split
 // evenly across the two networks.
 func MeasureThroughput(fm *fault.Map, cfg ThroughputConfig, rates []float64) ([]ThroughputPoint, error) {
+	var topo Topology
+	if cfg.Topology != "" {
+		var err error
+		if topo, err = NewTopology(cfg.Topology, fm.Grid()); err != nil {
+			return nil, err
+		}
+	}
 	healthy := fm.HealthyCoords()
 	out := make([]ThroughputPoint, 0, len(rates))
 	for _, rate := range rates {
-		s, err := NewSim(fm, cfg.Sim)
+		s, err := NewSimTopology(fm, cfg.Sim, topo)
 		if err != nil {
 			return nil, err
 		}
@@ -134,4 +144,33 @@ func SaturationRate(points []ThroughputPoint) float64 {
 func TheoreticalSaturation(grid geom.Grid) float64 {
 	n := float64(grid.W)
 	return 8 / n
+}
+
+// IdealSaturation returns a closed-form bisection-style saturation
+// bound for the named topology ("" = mesh) — the probe-rate anchor the
+// cycle-accurate backends offer traffic against. It is a coarse upper
+// bound chosen per topology's capacity: CMesh halves the cross links;
+// the vertical fold leaves the binding east-west cut unchanged; the
+// express mesh adds cut links but each express link is credit-limited
+// to half a packet per cycle (a length-4 flight against a 4-deep
+// downstream FIFO), which nets out to ~0.8x the mesh bound — the
+// exact per-fault-map value is the analytical model's
+// IdealSaturationRate.
+func IdealSaturation(topology string, grid geom.Grid) float64 {
+	base := TheoreticalSaturation(grid)
+	name, err := NormalizeTopology(topology)
+	if err != nil {
+		name = TopoMesh
+	}
+	s := base
+	switch name {
+	case TopoCMesh:
+		s = base / 2
+	case TopoExpress:
+		s = 0.8 * base
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
 }

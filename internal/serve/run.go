@@ -99,9 +99,11 @@ func runDroop(ctx context.Context, sp *DroopSpec, workers int, emit func(Event))
 
 // NoCMCResult is the wire result of a nocmc job; exactly one of the
 // two point lists is populated, matching the requested granularity.
+// Topology echoes the spec's canonical topology ("" = mesh).
 type NoCMCResult struct {
 	Points        []noc.Fig6Point        `json:"points,omitempty"`
 	ChipletPoints []noc.ChipletFig6Point `json:"chipletPoints,omitempty"`
+	Topology      string                 `json:"topology,omitempty"`
 }
 
 func runNoCMC(ctx context.Context, sp *NoCMCSpec, workers int, emit func(Event)) (any, error) {
@@ -127,11 +129,13 @@ func runNoCMC(ctx context.Context, sp *NoCMCSpec, workers int, emit func(Event))
 		}
 		return &NoCMCResult{ChipletPoints: pts}, nil
 	}
-	pts, err := noc.Fig6SweepCtx(ctx, grid, counts, sp.Trials, sp.Seed, opts)
+	// TopoFig6SweepCtx delegates the mesh ("") to the prefix-sum sweep,
+	// so pre-topology specs keep producing bit-identical results.
+	pts, err := noc.TopoFig6SweepCtx(ctx, sp.Topology, grid, counts, sp.Trials, sp.Seed, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &NoCMCResult{Points: pts}, nil
+	return &NoCMCResult{Points: pts, Topology: sp.Topology}, nil
 }
 
 // ChaosResult is the wire result of a chaos job.
@@ -172,14 +176,21 @@ type ThroughputResult struct {
 	Points     []noc.ThroughputPoint `json:"points"`
 	Saturation float64               `json:"saturationBound"`
 	Model      string                `json:"model"`
+	// Topology echoes the spec's canonical topology ("" = mesh);
+	// Saturation is that topology's ideal bound.
+	Topology string `json:"topology,omitempty"`
 }
 
 func runThroughput(ctx context.Context, sp *ThroughputSpec, emit func(Event)) (any, error) {
 	grid := geom.NewGrid(sp.Side, sp.Side)
 	fm := fault.Random(grid, sp.Faults, rand.New(rand.NewSource(sp.Seed)))
-	res := &ThroughputResult{Saturation: noc.TheoreticalSaturation(grid), Model: sp.Model}
+	res := &ThroughputResult{
+		Saturation: noc.IdealSaturation(sp.Topology, grid),
+		Model:      sp.Model,
+		Topology:   sp.Topology,
+	}
 	if sp.Model == noc.ModelNameAnalytical {
-		model, err := analytical.New(fm, analytical.Config{})
+		model, err := analytical.NewForTopology(sp.Topology, fm, analytical.Config{})
 		if err != nil {
 			return nil, err
 		}
@@ -194,11 +205,13 @@ func runThroughput(ctx context.Context, sp *ThroughputSpec, emit func(Event)) (a
 	// Rate points are measured one at a time — each builds its own Sim
 	// from the same seed, so per-rate results match the batched sweep
 	// exactly while cancellation lands between rates.
+	cfg := noc.DefaultThroughputConfig()
+	cfg.Topology = sp.Topology
 	for i, rate := range sp.Rates {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		pts, err := noc.MeasureThroughput(fm, noc.DefaultThroughputConfig(), []float64{rate})
+		pts, err := noc.MeasureThroughput(fm, cfg, []float64{rate})
 		if err != nil {
 			return nil, err
 		}
@@ -213,13 +226,16 @@ func runThroughput(ctx context.Context, sp *ThroughputSpec, emit func(Event)) (a
 type DSEResult struct {
 	ArrayPoints []core.ArrayPoint `json:"arrayPoints"`
 	Model       string            `json:"model"`
+	// Topology echoes the spec's canonical topology ("" = mesh).
+	Topology string `json:"topology,omitempty"`
 }
 
 func runDSE(ctx context.Context, sp *DSESpec, workers int, emit func(Event)) (any, error) {
 	d := core.NewDesign()
 	d.Workers = workers
 	pts, err := d.SweepArraySizeCtx(ctx, sp.Sides, core.SweepOpts{
-		Model: core.EvalModel(sp.Model),
+		Model:    core.EvalModel(sp.Model),
+		Topology: sp.Topology,
 		Progress: func(done, total int) {
 			emit(Event{Stage: "points", Done: int64(done), Total: int64(total)})
 		},
@@ -227,7 +243,7 @@ func runDSE(ctx context.Context, sp *DSESpec, workers int, emit func(Event)) (an
 	if err != nil {
 		return nil, err
 	}
-	return &DSEResult{ArrayPoints: pts, Model: sp.Model}, nil
+	return &DSEResult{ArrayPoints: pts, Model: sp.Model, Topology: sp.Topology}, nil
 }
 
 // ParetoResult is the wire result of a pareto job. Model labels the
@@ -245,12 +261,15 @@ type ParetoResult struct {
 	Survivors   int                    `json:"survivors,omitempty"`
 	ScreenedOut int                    `json:"screenedOut,omitempty"`
 	ModelError  *core.ModelErrorReport `json:"modelError,omitempty"`
+	// Topology echoes the spec's canonical topology ("" = mesh).
+	Topology string `json:"topology,omitempty"`
 }
 
 func runPareto(ctx context.Context, sp *ParetoSpec, workers int, emit func(Event)) (any, error) {
 	d := core.NewDesign()
 	d.Workers = workers
 	opts := core.ParetoOpts{
+		Topology: sp.Topology,
 		Progress: func(stage string, done, total int) {
 			emit(Event{Stage: stage, Done: int64(done), Total: int64(total)})
 		},
@@ -280,6 +299,7 @@ func runPareto(ctx context.Context, sp *ParetoSpec, workers int, emit func(Event
 		Survivors:   run.Survivors,
 		ScreenedOut: run.ScreenedOut,
 		ModelError:  run.ModelError,
+		Topology:    sp.Topology,
 	}, nil
 }
 

@@ -44,6 +44,32 @@ func normalizeModel(m *string, kind string) error {
 	return nil
 }
 
+// normalizeTopologyField canonicalizes a NoC-topology field: the name
+// is normalized by noc.NormalizeTopology and the default mesh collapses
+// to "". The field is declared `json:"topology,omitempty"`, so the
+// canonical mesh spelling vanishes from the canonical JSON — specs
+// written before the field existed keep their cache keys (absent and
+// explicit "mesh" are the same question), while every non-mesh
+// topology lands in the key and can never alias a mesh result.
+func normalizeTopologyField(t *string, kind string, sides ...int) error {
+	name, err := noc.NormalizeTopology(*t)
+	if err != nil {
+		return fmt.Errorf("serve: %s: %w", kind, err)
+	}
+	if name == noc.TopoMesh {
+		name = ""
+	}
+	if name == noc.TopoVertical {
+		for _, s := range sides {
+			if s%2 != 0 {
+				return fmt.Errorf("serve: %s vertical topology needs even sides, got %d", kind, s)
+			}
+		}
+	}
+	*t = name
+	return nil
+}
+
 // Spec is the content-addressed description of one analysis request.
 // Exactly one kind-specific section is consulted (the one matching
 // Kind); Normalize clears the others and fills every unset field of
@@ -79,6 +105,10 @@ type NoCMCSpec struct {
 	Seed      int64 `json:"seed"`      // 0 -> 2021
 	MaxFaults int   `json:"maxFaults"` // sweep ceiling; 0 -> 20
 	Chiplet   bool  `json:"chiplet"`   // fault at chiplet granularity
+	// Topology names the NoC link graph the tile-granularity sweep runs
+	// on ("" = mesh; see noc.TopologyNames). Chiplet-granularity sweeps
+	// are mesh-only. Cache-keyed; mesh canonicalizes to "".
+	Topology string `json:"topology,omitempty"`
 }
 
 // ChaosSpec parametrizes a runtime-fault survival sweep; zero fields
@@ -106,6 +136,9 @@ type ThroughputSpec struct {
 	// field is part of the cache key, so approximate and exact sweeps
 	// never share a cached result.
 	Model string `json:"model"`
+	// Topology names the NoC link graph ("" = mesh; vertical needs an
+	// even side). Cache-keyed; mesh canonicalizes to "".
+	Topology string `json:"topology,omitempty"`
 }
 
 // DSESpec parametrizes the array-size design sweep.
@@ -114,6 +147,10 @@ type DSESpec struct {
 	// Model picks the evaluation backend: "cycle" (default) or
 	// "analytical". Cache-keyed, like ThroughputSpec.Model.
 	Model string `json:"model"`
+	// Topology names the NoC link graph the per-side probes run on
+	// ("" = mesh; vertical needs even sides). Cache-keyed; mesh
+	// canonicalizes to "".
+	Topology string `json:"topology,omitempty"`
 }
 
 // ParetoSpec parametrizes the (throughput, power, yield) exploration.
@@ -132,6 +169,10 @@ type ParetoSpec struct {
 	// normalization zeroes them otherwise). 0 -> the core defaults.
 	TopK    int     `json:"topK"`
 	BandPct float64 `json:"bandPct"`
+	// Topology names the NoC link graph behind every evaluated design
+	// point ("" = mesh; vertical needs even sides). Cache-keyed; mesh
+	// canonicalizes to "".
+	Topology string `json:"topology,omitempty"`
 }
 
 // ReportSpec parametrizes the full engineering report.
@@ -201,6 +242,12 @@ func (s *Spec) Normalize() error {
 		}
 		if nocmc.MaxFaults < 1 || nocmc.MaxFaults > 1024 {
 			return fmt.Errorf("serve: nocmc maxFaults %d outside 1..1024", nocmc.MaxFaults)
+		}
+		if err := normalizeTopologyField(&nocmc.Topology, "nocmc"); err != nil {
+			return err
+		}
+		if nocmc.Chiplet && nocmc.Topology != "" {
+			return fmt.Errorf("serve: nocmc chiplet-granularity sweep is mesh-only, got topology %q", nocmc.Topology)
 		}
 		s.NoCMC = nocmc
 	case "chaos":
@@ -282,6 +329,9 @@ func (s *Spec) Normalize() error {
 				return fmt.Errorf("serve: throughput rate %.3g outside (0, 1]", r)
 			}
 		}
+		if err := normalizeTopologyField(&tp.Topology, "throughput", tp.Side); err != nil {
+			return err
+		}
 		s.Throughput = tp
 	case "dse":
 		if dse == nil {
@@ -300,6 +350,9 @@ func (s *Spec) Normalize() error {
 			if side < 3 || side > maxSide {
 				return fmt.Errorf("serve: dse side %d outside 3..%d", side, maxSide)
 			}
+		}
+		if err := normalizeTopologyField(&dse.Topology, "dse", dse.Sides...); err != nil {
+			return err
 		}
 		s.DSE = dse
 	case "pareto":
@@ -348,6 +401,9 @@ func (s *Spec) Normalize() error {
 			if side < 3 || side > maxSide {
 				return fmt.Errorf("serve: pareto side %d outside 3..%d", side, maxSide)
 			}
+		}
+		if err := normalizeTopologyField(&pareto.Topology, "pareto", pareto.Sides...); err != nil {
+			return err
 		}
 		s.Pareto = pareto
 	case "report":

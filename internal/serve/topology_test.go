@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"waferscale/internal/geom"
+	"waferscale/internal/noc"
+)
+
+// The topology field joined every NoC-flavored spec after results for
+// the implicit mesh were already cached. The canonical form therefore
+// collapses mesh to the absent field: old cache entries stay valid, and
+// any non-mesh topology changes the key.
+func TestCacheKeyTopologyCanonicalForm(t *testing.T) {
+	cases := [][2]string{
+		{
+			`{"kind":"throughput"}`,
+			`{"kind":"throughput","throughput":{"topology":"mesh"}}`,
+		},
+		{
+			`{"kind":"throughput"}`,
+			`{"kind":"throughput","throughput":{"topology":" Mesh "}}`,
+		},
+		{
+			`{"kind":"dse"}`,
+			`{"kind":"dse","dse":{"topology":"mesh"}}`,
+		},
+		{
+			`{"kind":"pareto"}`,
+			`{"kind":"pareto","pareto":{"topology":"mesh"}}`,
+		},
+		{
+			`{"kind":"nocmc"}`,
+			`{"kind":"nocmc","nocmc":{"topology":"MESH"}}`,
+		},
+		{
+			// Spelling never fragments a non-default topology either.
+			`{"kind":"throughput","throughput":{"topology":"cmesh"}}`,
+			`{"kind":"throughput","throughput":{"topology":" CMesh "}}`,
+		},
+	}
+	for _, c := range cases {
+		a, b := specKeyFromJSON(t, c[0]), specKeyFromJSON(t, c[1])
+		if a != b {
+			t.Errorf("specs %s and %s should share a key, got %s vs %s", c[0], c[1], a, b)
+		}
+	}
+}
+
+// Topology-differing specs must never alias: a cached mesh curve can
+// never answer an express request, and no two topologies share a key.
+func TestCacheKeySeparatesTopologies(t *testing.T) {
+	kinds := []struct{ kind, spec string }{
+		{"throughput", `{"kind":"throughput","throughput":{"topology":%q}}`},
+		{"dse", `{"kind":"dse","dse":{"topology":%q}}`},
+		{"pareto", `{"kind":"pareto","pareto":{"topology":%q}}`},
+		{"nocmc", `{"kind":"nocmc","nocmc":{"topology":%q}}`},
+	}
+	for _, k := range kinds {
+		keys := map[string]string{}
+		for _, topo := range noc.TopologyNames() {
+			key := specKeyFromJSON(t, fmt.Sprintf(k.spec, topo))
+			if prev, dup := keys[key]; dup {
+				t.Errorf("%s: topologies %q and %q share cache key %s", k.kind, prev, topo, key)
+			}
+			keys[key] = topo
+		}
+		if len(keys) != len(noc.TopologyNames()) {
+			t.Errorf("%s: %d distinct keys for %d topologies", k.kind, len(keys), len(noc.TopologyNames()))
+		}
+	}
+}
+
+// TestNormalizeRejectsBadTopology pins the validation errors: unknown
+// names, vertical on odd sides, and the mesh-only chiplet sweep.
+func TestNormalizeRejectsBadTopology(t *testing.T) {
+	bad := []string{
+		`{"kind":"throughput","throughput":{"topology":"torus"}}`,
+		`{"kind":"throughput","throughput":{"side":9,"topology":"vertical"}}`,
+		`{"kind":"dse","dse":{"sides":[8,9],"topology":"vertical"}}`,
+		`{"kind":"pareto","pareto":{"sides":[17],"topology":"vertical"}}`,
+		`{"kind":"nocmc","nocmc":{"topology":"hypercube"}}`,
+		`{"kind":"nocmc","nocmc":{"chiplet":true,"topology":"cmesh"}}`,
+	}
+	for _, body := range bad {
+		sp := mustDecodeSpec(t, body)
+		if err := sp.Normalize(); err == nil {
+			t.Errorf("spec %s normalized without error", body)
+		}
+	}
+	// The even-side rule only binds vertical.
+	ok := mustDecodeSpec(t, `{"kind":"throughput","throughput":{"side":9,"topology":"express"}}`)
+	if err := ok.Normalize(); err != nil {
+		t.Errorf("express on odd side rejected: %v", err)
+	}
+}
+
+// A topology-carrying throughput job runs end to end on both backends
+// and labels its result with the canonical topology and that
+// topology's saturation bound.
+func TestRunThroughputTopology(t *testing.T) {
+	for _, model := range []string{"cycle", "analytical"} {
+		sp := mustDecodeSpec(t,
+			`{"kind":"throughput","throughput":{"side":8,"faults":2,"rates":[0.05],"model":"`+model+`","topology":"express"}}`)
+		if err := sp.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(context.Background(), sp, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := res.(*ThroughputResult)
+		if tr.Topology != noc.TopoExpress || tr.Model != model {
+			t.Errorf("%s: labeled topology=%q model=%q", model, tr.Topology, tr.Model)
+		}
+		if len(tr.Points) != 1 || tr.Points[0].DeliveredRate <= 0 {
+			t.Errorf("%s: degenerate points %+v", model, tr.Points)
+		}
+		if want := 0.8 * noc.TheoreticalSaturation(geom.NewGrid(8, 8)); tr.Saturation != want {
+			t.Errorf("%s: saturation bound %.4f, want express bound %.4f", model, tr.Saturation, want)
+		}
+	}
+}
+
+// A topology-carrying nocmc job sweeps the named link graph; the mesh
+// delegation keeps pre-topology specs bit-identical, which the noc
+// package pins separately — here we check the express sweep completes
+// and labels itself.
+func TestRunNoCMCTopology(t *testing.T) {
+	sp := mustDecodeSpec(t, `{"kind":"nocmc","nocmc":{"trials":2,"maxFaults":3,"topology":"express"}}`)
+	if err := sp.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), sp, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := res.(*NoCMCResult)
+	if mc.Topology != noc.TopoExpress {
+		t.Errorf("labeled topology %q", mc.Topology)
+	}
+	if len(mc.Points) != 3 {
+		t.Errorf("got %d points, want 3", len(mc.Points))
+	}
+	for _, p := range mc.Points {
+		if p.PctDual.Mean > p.PctSingle.Mean+1e-12 {
+			t.Errorf("faults=%d: dual %.4f%% above single %.4f%%", p.Faults, p.PctDual.Mean, p.PctSingle.Mean)
+		}
+	}
+}

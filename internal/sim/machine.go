@@ -276,6 +276,18 @@ type forwardToSend struct {
 // NewMachine builds a machine for a configuration and fault map. The
 // configuration's tile array must match the fault map's grid.
 func NewMachine(cfg arch.Config, fm *fault.Map) (*Machine, error) {
+	return NewMachineTopology(cfg, fm, "")
+}
+
+// NewMachineTopology builds a machine whose interconnect uses the named
+// NoC topology ("" = the prototype's dual-DoR mesh; see
+// noc.TopologyNames). Transport — every remote load/store, DMA and
+// barrier packet — rides the named link graph; the fault-bypass relay
+// planner (noc.Kernel) still reasons in mesh row/column terms, so on
+// non-mesh topologies relays are a conservative fallback: correct
+// (relay hops are ordinary packets on the real topology) but not
+// necessarily minimal.
+func NewMachineTopology(cfg arch.Config, fm *fault.Map, topology string) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -285,7 +297,15 @@ func NewMachine(cfg arch.Config, fm *fault.Map) (*Machine, error) {
 	if cfg.Grid() != fm.Grid() {
 		return nil, fmt.Errorf("sim: config grid %v != fault map grid %v", cfg.Grid(), fm.Grid())
 	}
-	netSim, err := noc.NewSim(fm, noc.DefaultSimConfig())
+	name, err := noc.NormalizeTopology(topology)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := noc.NewTopology(name, cfg.Grid())
+	if err != nil {
+		return nil, err
+	}
+	netSim, err := noc.NewSimTopology(fm, noc.DefaultSimConfig(), topo)
 	if err != nil {
 		return nil, err
 	}
