@@ -23,6 +23,7 @@ import (
 	"waferscale/internal/pdn"
 	"waferscale/internal/sim"
 	"waferscale/internal/substrate"
+	"waferscale/internal/workload"
 )
 
 // BenchmarkTable1Spec regenerates Table I from the architectural
@@ -727,4 +728,44 @@ func BenchmarkParetoTwoTier(b *testing.B) {
 		survivors = run.Survivors
 	}
 	b.ReportMetric(float64(survivors), "survivors")
+}
+
+// BenchmarkWorkloadTransformerBlock compiles the built-in transformer
+// operator graph (17 ops: GEMMs, attention-gather, all-reduce, MoE
+// dispatch, elementwise, collectives) onto a 4x4 machine with each NoC
+// topology, runs it end to end, and verifies every operator's output
+// against the host reference. machineCycles is the end-to-end graph
+// latency; critPathCycles is the dependency-chain lower bound.
+func BenchmarkWorkloadTransformerBlock(b *testing.B) {
+	g := workload.TransformerBlock(0, 0, 0)
+	want, err := workload.Reference(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, topo := range noc.TopologyNames() {
+		b.Run(topo, func(b *testing.B) {
+			var rep *workload.WorkloadReport
+			for i := 0; i < b.N; i++ {
+				m, err := workload.BuildMachine(4, topo)
+				if err != nil {
+					b.Fatal(err)
+				}
+				outputs, r, err := workload.Run(m, g, workload.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !r.Completed {
+					b.Fatalf("graph failed at op %q", r.FailedOp)
+				}
+				if bad := workload.CompareOutputs(outputs, want); len(bad) > 0 {
+					b.Fatalf("ops diverged from reference: %v", bad)
+				}
+				rep = r
+				m.Close()
+			}
+			b.ReportMetric(float64(rep.TotalCycles), "machineCycles")
+			b.ReportMetric(float64(rep.CriticalPathCycles), "critPathCycles")
+			b.ReportMetric(float64(rep.RemoteOps), "remoteOps")
+		})
+	}
 }

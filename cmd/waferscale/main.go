@@ -39,6 +39,7 @@ import (
 	"waferscale/internal/pdn"
 	"waferscale/internal/substrate"
 	"waferscale/internal/version"
+	"waferscale/internal/workload"
 )
 
 func main() {
@@ -83,6 +84,8 @@ func main() {
 		err = cmdTopoSweep(args)
 	case "chaos":
 		err = cmdChaos(args)
+	case "workload":
+		err = cmdWorkload(args)
 	case "version", "-version", "--version":
 		fmt.Println(version.String())
 	case "help", "-h", "--help":
@@ -119,6 +122,7 @@ commands:
   pareto     explore the (throughput, power, yield) design space
   toposweep  explore NoC topologies across random fault maps
   chaos      BFS survival curve under runtime fault injection
+  workload   compile an operator graph onto the wafer and run it
   version    print build information
 
 most commands accept -config <file.json> to evaluate a custom design`)
@@ -703,5 +707,123 @@ func cmdPareto(args []string) error {
 				me.FeasibilityMatches, me.Points)
 		}
 	}
+	return nil
+}
+
+// cmdWorkload compiles an operator graph (a built-in or a JSON file)
+// onto a reduced machine and either runs it once with per-operator
+// metrics, sweeps every topology x placement combination ranked by
+// end-to-end latency, or runs a Monte-Carlo survival curve with tiles
+// killed mid-operator. Every mode verifies outputs against the pure-Go
+// reference executors.
+func cmdWorkload(args []string) error {
+	fs := flag.NewFlagSet("workload", flag.ExitOnError)
+	graphFile := fs.String("graph", "", "JSON operator-graph file (see examples/); empty = built-in")
+	builtin := fs.String("builtin", "transformer", "built-in graph name (with empty -graph)")
+	tokens := fs.Int("tokens", 0, "built-in graph tokens (0 = default)")
+	dim := fs.Int("dim", 0, "built-in graph model dimension (0 = default)")
+	experts := fs.Int("experts", 0, "built-in graph MoE experts (0 = default)")
+	side := fs.Int("side", 8, "machine array side")
+	topology := fs.String("topology", "", "NoC link graph: mesh (default) | cmesh | express | vertical (needs an even side)")
+	placement := fs.String("placement", "", "tensor placement: rowmajor (default) | blocked | bandwidth")
+	workersPerOp := fs.Int("workers", 8, "worker cores per operator")
+	opBudget := fs.Int64("max-cycles", 4_000_000, "per-operator cycle budget")
+	sweep := fs.Bool("sweep", false, "rank every topology x placement combination by end-to-end cycles")
+	chaos := fs.Bool("chaos", false, "run the Monte-Carlo survival curve (tiles killed mid-operator)")
+	trials := fs.Int("trials", 8, "chaos trials per kill count")
+	kills := fs.String("kills", "0,1,2,4", "chaos comma-separated tile kill counts")
+	seed := fs.Int64("seed", 2021, "chaos master seed (per-trial seeds are derived)")
+	from := fs.Int64("kill-from", 200, "chaos earliest kill cycle")
+	to := fs.Int64("kill-to", 4000, "chaos latest kill cycle")
+	hostWorkers := fs.Int("host-workers", 0, "host goroutines running trials/combinations (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *workload.Graph
+	var err error
+	if *graphFile != "" {
+		data, rerr := os.ReadFile(*graphFile)
+		if rerr != nil {
+			return rerr
+		}
+		if g, err = workload.ParseGraph(data); err != nil {
+			return err
+		}
+	} else if g, err = workload.Builtin(*builtin, *tokens, *dim, *experts); err != nil {
+		return err
+	}
+
+	if *sweep {
+		run, err := core.ExploreWorkloadTopologiesCtx(context.Background(), g, core.WorkloadTopoOpts{
+			Side:         *side,
+			Workers:      *hostWorkers,
+			WorkersPerOp: *workersPerOp,
+			OpBudget:     *opBudget,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.FormatWorkloadTopoSweep(run))
+		return nil
+	}
+
+	if *chaos {
+		cfg := workload.DefaultChaosConfig()
+		cfg.Side = *side
+		cfg.Topology = *topology
+		cfg.Placement = *placement
+		cfg.Trials = *trials
+		cfg.Seed = *seed
+		cfg.KillWindow = [2]int64{*from, *to}
+		cfg.WorkersPerOp = *workersPerOp
+		cfg.OpBudget = *opBudget
+		cfg.TrialWorkers = *hostWorkers
+		cfg.Kills = cfg.Kills[:0]
+		for _, f := range strings.Split(*kills, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return fmt.Errorf("bad -kills entry %q: %v", f, err)
+			}
+			cfg.Kills = append(cfg.Kills, k)
+		}
+		points, err := workload.RunChaos(cfg, g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("workload survival curve: %q on %dx%d, tiles killed mid-operator in cycles [%d,%d] (%d trials each)\n",
+			g.Name, cfg.Side, cfg.Side, *from, *to, cfg.Trials)
+		fmt.Print(workload.FormatChaos(points))
+		return nil
+	}
+
+	m, err := workload.BuildMachine(*side, *topology)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	outputs, rep, err := workload.Run(m, g, workload.Options{
+		Placement:    *placement,
+		WorkersPerOp: *workersPerOp,
+		OpBudget:     *opBudget,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	if deg := m.Degradation(); deg.Degraded() {
+		fmt.Print(deg.String())
+	}
+	if !rep.Completed {
+		return fmt.Errorf("graph failed at op %q", rep.FailedOp)
+	}
+	want, err := workload.Reference(g)
+	if err != nil {
+		return err
+	}
+	if bad := workload.CompareOutputs(outputs, want); len(bad) > 0 {
+		return fmt.Errorf("ops diverged from the host reference: %v", bad)
+	}
+	fmt.Println("verified against host reference: OK")
 	return nil
 }

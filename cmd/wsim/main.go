@@ -27,10 +27,11 @@ import (
 	"waferscale/internal/parallel"
 	"waferscale/internal/sim"
 	"waferscale/internal/version"
+	wl "waferscale/internal/workload"
 )
 
 func main() {
-	workload := flag.String("workload", "bfs", "bfs | sssp | matvec | hist")
+	workload := flag.String("workload", "bfs", "bfs | sssp | matvec | hist | transformer (operator graph)")
 	side := flag.Int("side", 4, "tile array side")
 	cores := flag.Int("cores", 4, "cores per tile")
 	vertices := flag.Int("vertices", 64, "graph vertices")
@@ -53,10 +54,13 @@ func main() {
 		"remote-op timing backend: cycle (exact network simulation) | analytical (closed-form model; approximate timing, exact results)")
 	topoFlag := flag.String("topology", "",
 		"NoC link graph: mesh (default) | cmesh | express | vertical (needs an even side)")
+	placementFlag := flag.String("placement", "",
+		"operator-graph tensor placement: rowmajor (default) | blocked | bandwidth")
 	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 	timingModel = *latencyModel
 	topology = *topoFlag
+	placement = *placementFlag
 
 	if *showVersion {
 		fmt.Println(version.String())
@@ -83,6 +87,7 @@ func main() {
 var (
 	timingModel = "cycle"
 	topology    = ""
+	placement   = ""
 )
 
 // newWsimMachine builds a machine on a fresh fault map and attaches
@@ -191,8 +196,10 @@ func run(workload string, side, cores, vertices, edges, workers, src int, seed, 
 		return reportDegraded(m, runMatVec(m, vertices, workers, seed, maxCycles, profile))
 	case "hist":
 		return reportDegraded(m, runHistogram(m, vertices*8, workers, seed, maxCycles, profile))
+	case "transformer":
+		return reportDegraded(m, runTransformer(m, workers, maxCycles, profile))
 	default:
-		return fmt.Errorf("unknown workload %q (bfs|sssp|matvec|hist)", workload)
+		return fmt.Errorf("unknown workload %q (bfs|sssp|matvec|hist|transformer)", workload)
 	}
 	ws := sim.AllWorkers(m, workers)
 	fmt.Printf("%s: %d vertices, %d edges, %d workers on a %dx%d machine (%d cores)\n",
@@ -456,4 +463,45 @@ func runHistogram(m *sim.Machine, n, workers int, seed, maxCycles int64, profile
 		m.WriteProfile(os.Stdout, 8)
 	}
 	return nil
+}
+
+// runTransformer compiles the built-in transformer-block operator graph
+// onto the machine, runs it operator by operator, and verifies every
+// output tensor against the pure-Go reference executors.
+func runTransformer(m *sim.Machine, workers int, maxCycles int64, profile bool) error {
+	g := wl.TransformerBlock(0, 0, 0)
+	fmt.Printf("operator graph %q: %d ops, %d workers/op, %s placement\n",
+		g.Name, len(g.Ops), workers, placementName())
+	outputs, rep, err := wl.Run(m, g, wl.Options{
+		Placement:    placement,
+		WorkersPerOp: workers,
+		OpBudget:     maxCycles,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	if !rep.Completed {
+		return fmt.Errorf("graph failed at op %q", rep.FailedOp)
+	}
+	want, err := wl.Reference(g)
+	if err != nil {
+		return err
+	}
+	if bad := wl.CompareOutputs(outputs, want); len(bad) > 0 {
+		return fmt.Errorf("ops diverged from the host reference: %v", bad)
+	}
+	fmt.Println("verified against host reference: OK")
+	if profile {
+		fmt.Println()
+		m.WriteProfile(os.Stdout, 8)
+	}
+	return nil
+}
+
+func placementName() string {
+	if placement == "" {
+		return "rowmajor"
+	}
+	return placement
 }

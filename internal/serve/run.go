@@ -12,6 +12,7 @@ import (
 	"waferscale/internal/noc"
 	"waferscale/internal/noc/analytical"
 	"waferscale/internal/pdn"
+	"waferscale/internal/workload"
 )
 
 // Run executes a normalized spec with the given host-worker budget and
@@ -49,6 +50,8 @@ func Run(ctx context.Context, sp *Spec, workers int, emit func(Event)) (any, err
 		return runPareto(ctx, sp.Pareto, workers, emit)
 	case "report":
 		return runReport(ctx, sp.Report, workers, emit)
+	case "workload":
+		return runWorkload(ctx, sp.Workload, emit)
 	}
 	return nil, fmt.Errorf("serve: unknown kind %q (spec not normalized?)", sp.Kind)
 }
@@ -301,6 +304,45 @@ func runPareto(ctx context.Context, sp *ParetoSpec, workers int, emit func(Event
 		ModelError:  run.ModelError,
 		Topology:    sp.Topology,
 	}, nil
+}
+
+// WorkloadResult is the wire result of a workload job: the per-operator
+// report plus the differential verdict against the host reference.
+// Topology and Placement echo the spec's canonical fields ("" = mesh /
+// rowmajor).
+type WorkloadResult struct {
+	Report     *workload.WorkloadReport `json:"report"`
+	Verified   bool                     `json:"verified"`
+	Mismatched []string                 `json:"mismatched,omitempty"`
+	Topology   string                   `json:"topology,omitempty"`
+	Placement  string                   `json:"placement,omitempty"`
+}
+
+func runWorkload(ctx context.Context, sp *WorkloadSpec, emit func(Event)) (any, error) {
+	g, err := workload.Builtin(sp.Graph, sp.Tokens, sp.Dim, sp.Experts)
+	if err != nil {
+		return nil, err
+	}
+	m, err := workload.BuildMachine(sp.Side, sp.Topology)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	outputs, rep, err := workload.RunCtx(ctx, m, g, workload.Options{Placement: sp.Placement})
+	if err != nil {
+		return nil, err
+	}
+	emit(Event{Stage: "ops", Done: int64(len(rep.Ops)), Total: int64(len(rep.Ops)), Cycles: rep.TotalCycles})
+	res := &WorkloadResult{Report: rep, Topology: sp.Topology, Placement: sp.Placement}
+	if rep.Completed {
+		want, err := workload.Reference(g)
+		if err != nil {
+			return nil, err
+		}
+		res.Mismatched = workload.CompareOutputs(outputs, want)
+		res.Verified = len(res.Mismatched) == 0
+	}
+	return res, nil
 }
 
 // ReportResult is the wire result of a report job: the rendered

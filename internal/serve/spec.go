@@ -26,6 +26,7 @@ import (
 
 	"waferscale/internal/core"
 	"waferscale/internal/noc"
+	"waferscale/internal/workload"
 )
 
 // normalizeModel canonicalizes a timing-backend field: "" defaults to
@@ -79,7 +80,7 @@ func normalizeTopologyField(t *string, kind string, sides ...int) error {
 // the same cache key.
 type Spec struct {
 	// Kind selects the analysis: droop | nocmc | chaos | throughput |
-	// dse | pareto | report.
+	// dse | pareto | report | workload.
 	Kind string `json:"kind"`
 
 	Droop      *DroopSpec      `json:"droop,omitempty"`
@@ -89,6 +90,7 @@ type Spec struct {
 	DSE        *DSESpec        `json:"dse,omitempty"`
 	Pareto     *ParetoSpec     `json:"pareto,omitempty"`
 	Report     *ReportSpec     `json:"report,omitempty"`
+	Workload   *WorkloadSpec   `json:"workload,omitempty"`
 }
 
 // DroopSpec parametrizes a Fig. 2 power-delivery solve.
@@ -175,6 +177,30 @@ type ParetoSpec struct {
 	Topology string `json:"topology,omitempty"`
 }
 
+// WorkloadSpec parametrizes one operator-graph run: a built-in graph
+// compiled onto a machine, executed, and verified against the host
+// reference.
+type WorkloadSpec struct {
+	// Graph names a built-in graph ("" = transformer). Arbitrary JSON
+	// graphs stay in the offline CLI (`waferscale workload -graph`):
+	// the daemon's cache keys must describe bounded, nameable work.
+	Graph string `json:"graph"`
+	// Tokens/Dim/Experts size the built-in graph; 0 -> its defaults.
+	Tokens  int `json:"tokens"`
+	Dim     int `json:"dim"`
+	Experts int `json:"experts"`
+	// Side is the machine array side; 0 -> 8.
+	Side int `json:"side"`
+	// Topology names the NoC link graph ("" = mesh; vertical needs an
+	// even side). Cache-keyed; mesh canonicalizes to "".
+	Topology string `json:"topology,omitempty"`
+	// Placement names the tensor-placement policy ("" = rowmajor; see
+	// workload.PlacementNames). Cache-keyed; rowmajor canonicalizes to
+	// "", mirroring the topology field, so the default spelling never
+	// fragments keys and non-default policies can never alias it.
+	Placement string `json:"placement,omitempty"`
+}
+
 // ReportSpec parametrizes the full engineering report.
 type ReportSpec struct {
 	Faults int   `json:"faults"` // random faulty tiles; -1 -> none, 0 -> 5
@@ -184,7 +210,24 @@ type ReportSpec struct {
 
 // Kinds lists the accepted Spec.Kind values.
 func Kinds() []string {
-	return []string{"droop", "nocmc", "chaos", "throughput", "dse", "pareto", "report"}
+	return []string{"droop", "nocmc", "chaos", "throughput", "dse", "pareto", "report", "workload"}
+}
+
+// normalizePlacementField canonicalizes a placement-policy field the
+// same way normalizeTopologyField treats the mesh: the name is
+// validated by workload.NormalizePlacement and the default rowmajor
+// collapses to "", so it vanishes from the canonical JSON under its
+// `omitempty` tag and the default spelling never fragments cache keys.
+func normalizePlacementField(p *string, kind string) error {
+	name, err := workload.NormalizePlacement(strings.ToLower(strings.TrimSpace(*p)))
+	if err != nil {
+		return fmt.Errorf("serve: %s: %w", kind, err)
+	}
+	if name == workload.PlacementRowMajor {
+		name = ""
+	}
+	*p = name
+	return nil
 }
 
 // Limits that keep a single request from monopolizing the daemon.
@@ -204,8 +247,8 @@ const (
 // addressed. It must be called before CacheKey or Run.
 func (s *Spec) Normalize() error {
 	s.Kind = strings.ToLower(strings.TrimSpace(s.Kind))
-	droop, nocmc, chaos, tp, dse, pareto, report := s.Droop, s.NoCMC, s.Chaos, s.Throughput, s.DSE, s.Pareto, s.Report
-	s.Droop, s.NoCMC, s.Chaos, s.Throughput, s.DSE, s.Pareto, s.Report = nil, nil, nil, nil, nil, nil, nil
+	droop, nocmc, chaos, tp, dse, pareto, report, wl := s.Droop, s.NoCMC, s.Chaos, s.Throughput, s.DSE, s.Pareto, s.Report, s.Workload
+	s.Droop, s.NoCMC, s.Chaos, s.Throughput, s.DSE, s.Pareto, s.Report, s.Workload = nil, nil, nil, nil, nil, nil, nil, nil
 	switch s.Kind {
 	case "droop":
 		if droop == nil {
@@ -430,6 +473,46 @@ func (s *Spec) Normalize() error {
 			return fmt.Errorf("serve: report trials %d outside 1..%d", report.Trials, maxTrials)
 		}
 		s.Report = report
+	case "workload":
+		if wl == nil {
+			wl = &WorkloadSpec{}
+		}
+		wl.Graph = strings.ToLower(strings.TrimSpace(wl.Graph))
+		if wl.Graph == "" {
+			wl.Graph = "transformer"
+		}
+		if wl.Side == 0 {
+			wl.Side = 8
+		}
+		// Fill the size knobs with the builder's defaults so "transformer"
+		// and an explicit "tokens 8, dim 8, experts 2" hash to the same
+		// question, then bound them — bigger graphs belong in the offline
+		// CLI, not a shared service.
+		if wl.Tokens <= 0 {
+			wl.Tokens = 8
+		}
+		if wl.Dim <= 0 {
+			wl.Dim = 8
+		}
+		if wl.Experts <= 0 {
+			wl.Experts = 2
+		}
+		if wl.Tokens > 64 || wl.Dim > 64 || wl.Experts > 16 {
+			return fmt.Errorf("serve: workload graph %dx%d/%d experts too large (max 64x64/16)", wl.Tokens, wl.Dim, wl.Experts)
+		}
+		if _, err := workload.Builtin(wl.Graph, wl.Tokens, wl.Dim, wl.Experts); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		if wl.Side < 2 || wl.Side > maxSide {
+			return fmt.Errorf("serve: workload side %d outside 2..%d", wl.Side, maxSide)
+		}
+		if err := normalizeTopologyField(&wl.Topology, "workload", wl.Side); err != nil {
+			return err
+		}
+		if err := normalizePlacementField(&wl.Placement, "workload"); err != nil {
+			return err
+		}
+		s.Workload = wl
 	case "":
 		return fmt.Errorf("serve: missing kind (want one of %s)", strings.Join(Kinds(), "|"))
 	default:

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"waferscale/internal/noc"
+	"waferscale/internal/workload"
+)
+
+// The workload kind's canonical form mirrors the topology convention:
+// the default placement (rowmajor) collapses to the absent field, the
+// default graph/sizes fill in explicitly, so every spelling of the
+// default question shares one cache key.
+func TestWorkloadCacheKeyCanonicalForm(t *testing.T) {
+	cases := [][2]string{
+		{
+			`{"kind":"workload"}`,
+			`{"kind":"workload","workload":{"graph":"transformer"}}`,
+		},
+		{
+			`{"kind":"workload"}`,
+			`{"kind":"workload","workload":{"placement":"rowmajor"}}`,
+		},
+		{
+			`{"kind":"workload"}`,
+			`{"kind":"workload","workload":{"topology":"mesh","placement":" RowMajor "}}`,
+		},
+		{
+			`{"kind":"workload"}`,
+			`{"kind":"workload","workload":{"graph":" Transformer ","tokens":8,"dim":8,"experts":2,"side":8}}`,
+		},
+		{
+			`{"kind":"workload","workload":{"placement":"blocked"}}`,
+			`{"kind":"workload","workload":{"placement":" Blocked "}}`,
+		},
+	}
+	for _, c := range cases {
+		a, b := specKeyFromJSON(t, c[0]), specKeyFromJSON(t, c[1])
+		if a != b {
+			t.Errorf("specs %s and %s should share a key, got %s vs %s", c[0], c[1], a, b)
+		}
+	}
+}
+
+// No two (topology, placement) combinations may alias: a cached mesh/
+// rowmajor report can never answer an express/bandwidth request.
+func TestWorkloadCacheKeyNoAlias(t *testing.T) {
+	keys := map[string]string{}
+	for _, topo := range noc.TopologyNames() {
+		for _, pl := range workload.PlacementNames() {
+			spec := fmt.Sprintf(`{"kind":"workload","workload":{"topology":%q,"placement":%q}}`, topo, pl)
+			key := specKeyFromJSON(t, spec)
+			if prev, dup := keys[key]; dup {
+				t.Errorf("combos %s and %s/%s share cache key %s", prev, topo, pl, key)
+			}
+			keys[key] = topo + "/" + pl
+		}
+	}
+	// Size knobs are part of the question too.
+	if specKeyFromJSON(t, `{"kind":"workload"}`) ==
+		specKeyFromJSON(t, `{"kind":"workload","workload":{"tokens":6}}`) {
+		t.Error("token count did not change the cache key")
+	}
+}
+
+// TestWorkloadNormalizeRejects pins the validation errors.
+func TestWorkloadNormalizeRejects(t *testing.T) {
+	bad := []string{
+		`{"kind":"workload","workload":{"graph":"nosuch"}}`,
+		`{"kind":"workload","workload":{"placement":"nosuch"}}`,
+		`{"kind":"workload","workload":{"topology":"torus"}}`,
+		`{"kind":"workload","workload":{"topology":"vertical","side":7}}`,
+		`{"kind":"workload","workload":{"side":1}}`,
+		`{"kind":"workload","workload":{"tokens":1000}}`,
+	}
+	for _, body := range bad {
+		var sp Spec
+		if err := json.Unmarshal([]byte(body), &sp); err != nil {
+			t.Fatalf("unmarshal %q: %v", body, err)
+		}
+		if err := sp.Normalize(); err == nil {
+			t.Errorf("spec %s should be rejected", body)
+		}
+	}
+}
+
+// TestWorkloadRunVerifies runs the workload kind end to end through
+// serve.Run: the report must complete and the differential check
+// against the host reference must pass.
+func TestWorkloadRunVerifies(t *testing.T) {
+	var sp Spec
+	body := `{"kind":"workload","workload":{"side":4,"topology":"cmesh","placement":"blocked"}}`
+	if err := json.Unmarshal([]byte(body), &sp); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), &sp, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, ok := res.(*WorkloadResult)
+	if !ok {
+		t.Fatalf("result type %T", res)
+	}
+	if !wr.Report.Completed {
+		t.Fatalf("workload failed at op %q", wr.Report.FailedOp)
+	}
+	if !wr.Verified {
+		t.Fatalf("outputs diverged from reference: %v", wr.Mismatched)
+	}
+	if wr.Report.Topology != "cmesh" || wr.Topology != "cmesh" || wr.Placement != "blocked" {
+		t.Errorf("result labels wrong: report=%q topo=%q placement=%q",
+			wr.Report.Topology, wr.Topology, wr.Placement)
+	}
+	if wr.Report.TotalCycles <= 0 || wr.Report.RemoteOps <= 0 {
+		t.Errorf("implausible report totals: %+v", wr.Report)
+	}
+}

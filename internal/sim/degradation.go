@@ -15,6 +15,17 @@ import (
 // Section VIII single-layer fallback story — the system degrades with
 // an explanation instead of hanging or panicking.
 type DegradationReport struct {
+	// Topology names the NoC link graph the machine ran, so degraded
+	// runs are attributable to the interconnect they happened on. Note
+	// the relay planner reasons in mesh row/column terms on every
+	// topology: on cmesh and express (whose link graphs contain the
+	// mesh) the planned detours are correct but not necessarily
+	// minimal; on vertical, whose fold replaces the mesh links between
+	// the two layers, a mesh-planned detour can be unroutable, in which
+	// case the op exhausts its retries and faults its core with a
+	// structured error rather than hanging. See
+	// TestRelayDetourNonMeshTopologies for both behaviors.
+	Topology string
 	// KilledTiles lists tiles killed at runtime, in kill order.
 	KilledTiles []geom.Coord
 	// DegradedTiles lists tiles declared unreachable after remote-op
@@ -55,7 +66,11 @@ func (r DegradationReport) String() string {
 		return "degradation: none (healthy run)"
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "degradation report:\n")
+	if r.Topology != "" {
+		fmt.Fprintf(&b, "degradation report (%s topology):\n", r.Topology)
+	} else {
+		fmt.Fprintf(&b, "degradation report:\n")
+	}
 	fmt.Fprintf(&b, "  tiles killed      %d %v\n", len(r.KilledTiles), r.KilledTiles)
 	fmt.Fprintf(&b, "  tiles degraded    %d %v\n", len(r.DegradedTiles), r.DegradedTiles)
 	fmt.Fprintf(&b, "  windows remapped  %d (%d KiB shared memory lost)\n",
@@ -83,6 +98,7 @@ func (r *DegradationReport) markDegradedOnce(c geom.Coord) {
 // Degradation returns a copy of the machine's degradation report.
 func (m *Machine) Degradation() DegradationReport {
 	r := m.degr
+	r.Topology = m.topoName
 	r.KilledTiles = append([]geom.Coord(nil), m.degr.KilledTiles...)
 	r.DegradedTiles = append([]geom.Coord(nil), m.degr.DegradedTiles...)
 	return r

@@ -135,6 +135,9 @@ type Machine struct {
 	kernel *noc.Kernel
 	net    *noc.Sim
 	tiles  []*Tile
+	// topoName is the normalized NoC topology the machine was built
+	// with (see TopologyName).
+	topoName string
 
 	cycle   int64
 	pending []responseToSend
@@ -311,13 +314,14 @@ func NewMachineTopology(cfg arch.Config, fm *fault.Map, topology string) (*Machi
 	}
 	g := cfg.Grid()
 	m := &Machine{
-		Cfg:    cfg,
-		grid:   g,
-		fm:     fm,
-		amap:   arch.NewAddressMap(cfg),
-		kernel: noc.NewKernel(fm),
-		net:    netSim,
-		tiles:  make([]*Tile, g.Size()),
+		Cfg:      cfg,
+		grid:     g,
+		fm:       fm,
+		amap:     arch.NewAddressMap(cfg),
+		kernel:   noc.NewKernel(fm),
+		net:      netSim,
+		tiles:    make([]*Tile, g.Size()),
+		topoName: name,
 		// Worst-case healthy round trip is ~2*(W+H) hops of a few cycles
 		// each plus queuing; 64x the semi-perimeter leaves generous slack
 		// so healthy runs never trip a false timeout.
@@ -366,6 +370,10 @@ func (m *Machine) Tile(c geom.Coord) *Tile {
 
 // Cycle returns the elapsed cycles.
 func (m *Machine) Cycle() int64 { return m.cycle }
+
+// TopologyName returns the normalized name of the NoC topology the
+// machine was built with ("mesh", "cmesh", "express" or "vertical").
+func (m *Machine) TopologyName() string { return m.topoName }
 
 // Net exposes the network simulator's statistics.
 func (m *Machine) Net() *noc.Sim { return m.net }

@@ -56,6 +56,7 @@ func (m *Machine) clone() *Machine {
 	n := &Machine{
 		Cfg:            m.Cfg,
 		grid:           m.grid,
+		topoName:       m.topoName,
 		fm:             fm,
 		amap:           m.amap,
 		kernel:         m.kernel.Fork(fm),

@@ -2,10 +2,13 @@ package sim
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
+	"waferscale/internal/arch"
 	"waferscale/internal/fault"
 	"waferscale/internal/geom"
+	"waferscale/internal/noc"
 )
 
 // TestMatVecOnMachine: y = A*x computed by WS-ISA workers matches the
@@ -185,5 +188,137 @@ func TestSpreadVsPackedRemoteTraffic(t *testing.T) {
 	}
 	if spread == 0 {
 		t.Error("spread placement produced no remote traffic")
+	}
+}
+
+// newTopoMachine builds a fault-free machine on the named topology.
+func newTopoMachine(t *testing.T, cfg arch.Config, topo string) *Machine {
+	t.Helper()
+	m, err := NewMachineTopology(cfg, fault.NewMap(cfg.Grid()), topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestMatVecAllTopologies pins the matvec kernel's results to the host
+// reference on every NoC topology. Workers are spread one-per-tile so
+// the traffic actually crosses the interconnect under test.
+func TestMatVecAllTopologies(t *testing.T) {
+	a, x := RandomMatrix(20, 3)
+	want := ReferenceMatVec(a, x)
+	for _, topo := range noc.TopologyNames() {
+		topo := topo
+		t.Run(topo, func(t *testing.T) {
+			m := newTopoMachine(t, smallConfig(), topo)
+			if m.TopologyName() != topo {
+				t.Errorf("TopologyName = %q, want %q", m.TopologyName(), topo)
+			}
+			y, res, err := RunMatVec(m, a, x, SpreadWorkers(m, 10), 20_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if y[i] != want[i] {
+					t.Fatalf("y[%d] = %d, want %d", i, y[i], want[i])
+				}
+			}
+			if res.RemoteOps == 0 {
+				t.Error("spread workers produced no remote traffic")
+			}
+		})
+	}
+}
+
+// TestHistogramAllTopologies: shared-bin amoadd contention stays exact
+// on every topology — atomics must not lose updates regardless of how
+// the packets are routed.
+func TestHistogramAllTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	data := make([]int32, 400)
+	const nBins = 8
+	for i := range data {
+		data[i] = int32(rng.Intn(nBins))
+	}
+	want := ReferenceHistogram(data, nBins)
+	for _, topo := range noc.TopologyNames() {
+		topo := topo
+		t.Run(topo, func(t *testing.T) {
+			m := newTopoMachine(t, smallConfig(), topo)
+			bins, res, err := RunHistogram(m, data, nBins, SpreadWorkers(m, 12), 20_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for b := range want {
+				if bins[b] != want[b] {
+					t.Errorf("bin %d = %d, want %d", b, bins[b], want[b])
+				}
+			}
+			if res.RemoteOps == 0 {
+				t.Error("histogram should generate remote atomics")
+			}
+		})
+	}
+}
+
+// TestRelayDetourNonMeshTopologies pins the documented relay-planner
+// gap (see DegradationReport.Topology): the planner reasons in mesh
+// row/column terms on every topology. On cmesh and express — link
+// supersets of the mesh — the mesh-shaped detour around a
+// double-blocked path is correct (just not necessarily minimal), and
+// the access completes through relays. On vertical, whose fold
+// replaces the cross-layer mesh links, the mesh-planned detour can be
+// unroutable; the machine must then fail closed — exhaust retries,
+// fault the core with a structured error, and still quiesce — rather
+// than hang. Every topology must name itself in the report.
+func TestRelayDetourNonMeshTopologies(t *testing.T) {
+	for _, topo := range noc.TopologyNames() {
+		topo := topo
+		t.Run(topo, func(t *testing.T) {
+			// 4x4 (vertical needs an even row count); faults at (1,0)
+			// and (0,3) block both DoR paths between (0,0) and (3,3)
+			// in both directions, so only a relay detour connects them.
+			cfg := smallConfig()
+			fm := fault.NewMap(cfg.Grid())
+			fm.MarkFaulty(geom.C(1, 0))
+			fm.MarkFaulty(geom.C(0, 3))
+			m, err := NewMachineTopology(cfg, fm, topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			addr := globalWindowAddr(cfg, geom.C(3, 3))
+			if err := m.WriteGlobal32(addr, 77); err != nil {
+				t.Fatal(err)
+			}
+			c := startRemoteLoad(t, m, geom.C(0, 0), addr)
+			if err := m.Run(20_000); err != nil {
+				t.Fatalf("machine did not quiesce: %v", err)
+			}
+			rep := m.Degradation()
+			if rep.Topology != topo {
+				t.Errorf("report topology = %q, want %q", rep.Topology, topo)
+			}
+			if topo == noc.TopoVertical {
+				// The fold breaks the mesh-planned detour: the op must
+				// fail closed with a structured per-core error.
+				faults := m.Faults()
+				if len(faults) != 1 || !strings.Contains(faults[0].Error(), "gave up") {
+					t.Fatalf("faults = %v, want one 'gave up' error", faults)
+				}
+				if rep.ExhaustedOps == 0 {
+					t.Errorf("expected exhausted ops: %+v", rep)
+				}
+				return
+			}
+			if faults := m.Faults(); len(faults) > 0 {
+				t.Fatalf("faults: %v", faults)
+			}
+			if c.Regs[2] != 77 {
+				t.Errorf("loaded %d, want 77", c.Regs[2])
+			}
+			if rep.RelayedRequests == 0 || rep.RelayedResponses == 0 {
+				t.Errorf("mesh-planned detour did not relay: %+v", rep)
+			}
+		})
 	}
 }

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// TransformerBlock builds the built-in demo graph: one decoder-style
+// block shrunk to wafer-simulator scale, exercising every operator kind
+// — projection GEMMs, an attention-shaped gather, an all-reduce across
+// token partials, MoE dispatch, activation/residual elementwise ops,
+// and gather/broadcast/scatter collectives. Zero or negative arguments
+// pick the defaults (8 tokens, model dim 8, 2 experts).
+func TransformerBlock(tokens, dim, experts int) *Graph {
+	if tokens <= 0 {
+		tokens = 8
+	}
+	if dim <= 0 {
+		dim = 8
+	}
+	if experts <= 0 {
+		experts = 2
+	}
+	return &Graph{
+		Name: fmt.Sprintf("transformer-block-t%dd%de%d", tokens, dim, experts),
+		Seed: 2021,
+		Ops: []Op{
+			{ID: "x", Kind: KindInput, Rows: tokens, Cols: dim},
+			{ID: "wq", Kind: KindInput, Rows: dim, Cols: dim},
+			{ID: "wff", Kind: KindInput, Rows: dim, Cols: dim},
+			{ID: "idx", Kind: KindInput, Rows: tokens, Cols: 1, Max: tokens},
+			{ID: "route", Kind: KindInput, Rows: tokens, Cols: 1, Max: experts},
+			{ID: "norm", Kind: KindElementwise, Fn: "relu", Inputs: []string{"x"}},
+			{ID: "q", Kind: KindGEMM, Inputs: []string{"norm", "wq"}},
+			{ID: "attn", Kind: KindAttention, Inputs: []string{"idx", "q"}},
+			{ID: "heads", Kind: KindAllReduce, Inputs: []string{"attn"}},
+			{ID: "disp", Kind: KindMoEDispatch, Inputs: []string{"route", "heads"}, Experts: experts},
+			{ID: "ffn", Kind: KindGEMM, Inputs: []string{"disp", "wff"}},
+			{ID: "act", Kind: KindElementwise, Fn: "relu", Inputs: []string{"ffn"}},
+			{ID: "resid", Kind: KindElementwise, Fn: "add", Inputs: []string{"act", "x"}},
+			{ID: "flat", Kind: KindGather, Inputs: []string{"resid"}},
+			{ID: "cast", Kind: KindBroadcast, Inputs: []string{"flat"}, Parts: 2},
+			{ID: "shards", Kind: KindScatter, Inputs: []string{"flat"}, Parts: tokens},
+			{ID: "out", Kind: KindElementwise, Fn: "add", Inputs: []string{"shards", "resid"}},
+		},
+	}
+}
+
+// BuiltinNames lists the graphs constructible by name.
+func BuiltinNames() []string { return []string{"transformer"} }
+
+// Builtin returns a named built-in graph sized by (tokens, dim,
+// experts); zero values pick defaults.
+func Builtin(name string, tokens, dim, experts int) (*Graph, error) {
+	switch name {
+	case "", "transformer":
+		return TransformerBlock(tokens, dim, experts), nil
+	}
+	return nil, fmt.Errorf("workload: unknown builtin graph %q (have %v)", name, BuiltinNames())
+}
+
+// ParseGraph decodes and validates a JSON graph (the `waferscale
+// workload -graph file.json` format — see examples/).
+func ParseGraph(data []byte) (*Graph, error) {
+	var g Graph
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("workload: parsing graph: %w", err)
+	}
+	if g.Name == "" {
+		return nil, fmt.Errorf("workload: graph needs a name")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// MarshalGraph encodes a graph as indented JSON, the inverse of
+// ParseGraph.
+func MarshalGraph(g *Graph) ([]byte, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(g, "", "  ")
+}
